@@ -1,0 +1,341 @@
+// Benchmarks regenerating the paper's evaluation, one family per figure.
+// The cmd/codingbench and cmd/clusterbench harnesses print the full tables;
+// these testing.B benches pin the same measurements into `go test -bench`.
+//
+//	Fig. 6a -> BenchmarkFig6aEncode      (throughput via -benchmem MB/s)
+//	Fig. 6b -> BenchmarkFig6bDecode
+//	Fig. 7  -> BenchmarkFig7RepairTraffic (blocks-moved reported as a metric)
+//	Fig. 8a -> BenchmarkFig8aNewcomer
+//	Fig. 8b -> BenchmarkFig8bHelper
+//	Fig. 9  -> BenchmarkFig9WordCount    (simulated cluster job, real task logic)
+//	Fig. 11 -> BenchmarkFig11ParallelRead
+package carousel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"carousel"
+	"carousel/internal/workload"
+)
+
+// benchKs mirrors the paper's x-axis; kept small here so `go test -bench=.`
+// stays quick — cmd/codingbench sweeps the full range.
+var benchKs = []int{2, 4, 6}
+
+const benchMB = 1 << 20
+
+type family struct {
+	k    int
+	rs   *carousel.ReedSolomon
+	carK *carousel.Code
+	msr  *carousel.MSR
+	carD *carousel.Code
+}
+
+func newFamily(b *testing.B, k int) *family {
+	b.Helper()
+	n := 2 * k
+	rs, err := carousel.NewReedSolomon(n, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	carK, err := carousel.New(n, k, k, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := carousel.NewMSR(n, k, 2*k-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	carD, err := carousel.New(n, k, 2*k-1, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &family{k: k, rs: rs, carK: carK, msr: m, carD: carD}
+}
+
+func (f *family) blockSize() int {
+	align := f.carK.BlockAlign() * f.carD.BlockAlign() * f.msr.Alpha()
+	return (benchMB + align - 1) / align * align
+}
+
+func benchShards(k, size int) [][]byte {
+	rng := rand.New(rand.NewSource(int64(k)))
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func BenchmarkFig6aEncode(b *testing.B) {
+	for _, k := range benchKs {
+		f := newFamily(b, k)
+		size := f.blockSize()
+		data := benchShards(k, size)
+		cases := []struct {
+			name string
+			fn   func() error
+		}{
+			{"RS", func() error { _, err := f.rs.Encode(data); return err }},
+			{"Carousel_dk", func() error { _, err := f.carK.Encode(data); return err }},
+			{"MSR", func() error { _, err := f.msr.Encode(data); return err }},
+			{"Carousel_d2k1", func() error { _, err := f.carD.Encode(data); return err }},
+		}
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s/k=%d", c.name, k), func(b *testing.B) {
+				b.SetBytes(int64(k * size))
+				for i := 0; i < b.N; i++ {
+					if err := c.fn(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig6bDecode(b *testing.B) {
+	for _, k := range benchKs {
+		f := newFamily(b, k)
+		size := f.blockSize()
+		data := benchShards(k, size)
+		survive := func(blocks [][]byte) [][]byte {
+			avail := make([][]byte, len(blocks))
+			for i := 1; i <= k; i++ {
+				avail[i] = blocks[i]
+			}
+			return avail
+		}
+		rsB, _ := f.rs.Encode(data)
+		ckB, _ := f.carK.Encode(data)
+		msB, _ := f.msr.Encode(data)
+		cdB, _ := f.carD.Encode(data)
+		cases := []struct {
+			name string
+			fn   func() error
+		}{
+			{"RS", func() error { _, err := f.rs.Decode(survive(rsB)); return err }},
+			{"Carousel_dk", func() error { _, err := f.carK.Decode(survive(ckB)); return err }},
+			{"MSR", func() error { _, err := f.msr.Decode(survive(msB)); return err }},
+			{"Carousel_d2k1", func() error { _, err := f.carD.Decode(survive(cdB)); return err }},
+		}
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s/k=%d", c.name, k), func(b *testing.B) {
+				b.SetBytes(int64(k * size))
+				for i := 0; i < b.N; i++ {
+					if err := c.fn(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7RepairTraffic reports the repair traffic in block units as
+// a custom metric (it is a property of the code, not a timing).
+func BenchmarkFig7RepairTraffic(b *testing.B) {
+	for _, k := range benchKs {
+		f := newFamily(b, k)
+		size := f.blockSize()
+		cases := []struct {
+			name    string
+			traffic int
+		}{
+			{"RS", f.rs.ReconstructionTraffic(size)},
+			{"Carousel_dk", f.carK.ReconstructionTraffic(size)},
+			{"MSR", f.msr.ReconstructionTraffic(size)},
+			{"Carousel_d2k1", f.carD.ReconstructionTraffic(size)},
+		}
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("%s/k=%d", c.name, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_ = c.traffic
+				}
+				b.ReportMetric(float64(c.traffic)/float64(size), "blocks-moved")
+			})
+		}
+	}
+}
+
+func firstHelpers(n, d, failed int) []int {
+	out := make([]int, 0, d)
+	for i := 0; i < n && len(out) < d; i++ {
+		if i != failed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func BenchmarkFig8aNewcomer(b *testing.B) {
+	for _, k := range benchKs {
+		f := newFamily(b, k)
+		size := f.blockSize()
+		data := benchShards(k, size)
+
+		rsB, _ := f.rs.Encode(data)
+		b.Run(fmt.Sprintf("RS/k=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				work := make([][]byte, len(rsB))
+				copy(work, rsB)
+				work[0] = nil
+				if err := f.rs.Reconstruct(work); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		msB, _ := f.msr.Encode(data)
+		msHelpers := firstHelpers(f.msr.N(), f.msr.D(), 0)
+		msChunks := make([][]byte, len(msHelpers))
+		for i, h := range msHelpers {
+			msChunks[i], _ = f.msr.HelperChunk(h, 0, msB[h])
+		}
+		b.Run(fmt.Sprintf("MSR/k=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := f.msr.RepairBlock(0, msHelpers, msChunks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		cdB, _ := f.carD.Encode(data)
+		cdHelpers := firstHelpers(f.carD.N(), f.carD.D(), 0)
+		cdChunks := make([][]byte, len(cdHelpers))
+		for i, h := range cdHelpers {
+			cdChunks[i], _ = f.carD.HelperChunk(h, 0, cdB[h])
+		}
+		b.Run(fmt.Sprintf("Carousel_d2k1/k=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := f.carD.RepairBlock(0, cdHelpers, cdChunks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig8bHelper(b *testing.B) {
+	for _, k := range benchKs {
+		f := newFamily(b, k)
+		size := f.blockSize()
+		data := benchShards(k, size)
+		msB, _ := f.msr.Encode(data)
+		b.Run(fmt.Sprintf("MSR/k=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := f.msr.HelperChunk(1, 0, msB[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cdB, _ := f.carD.Encode(data)
+		b.Run(fmt.Sprintf("Carousel_d2k1/k=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := f.carD.HelperChunk(1, 0, cdB[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9WordCount runs the simulated-cluster wordcount job (real
+// task logic, simulated time) under RS and Carousel; the metric of
+// interest is the reported sim-map-s, not ns/op.
+func BenchmarkFig9WordCount(b *testing.B) {
+	code, err := carousel.New(12, 6, 10, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := carousel.NewReedSolomon(12, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blockSize := benchMB / code.BlockAlign() * code.BlockAlign()
+	data := workload.Text(6*blockSize, 9)
+	run := func(b *testing.B, scheme carousel.Scheme) {
+		var mapS, jobS float64
+		for i := 0; i < b.N; i++ {
+			sim := carousel.NewSim()
+			cl := carousel.NewCluster(sim, 30, carousel.NodeSpec{
+				DiskReadBW: 3.125 * benchMB, DiskWriteBW: 3.125 * benchMB,
+				NetInBW: 3.9 * benchMB, NetOutBW: 3.9 * benchMB,
+				Slots: 2, ComputeBW: 0.625 * benchMB,
+			})
+			fs := carousel.NewFS(cl, cl.Nodes())
+			if _, err := fs.Write("text", data, blockSize, scheme); err != nil {
+				b.Fatal(err)
+			}
+			eng := carousel.NewMapReduce(cl, fs, cl.Nodes(), carousel.MRCostSpec{
+				TaskOverhead: 3, MapCPUFactor: 1, ReduceCPUFactor: 1,
+			})
+			res, err := eng.Run(carousel.WordCountJob("text", 6))
+			if err != nil {
+				b.Fatal(err)
+			}
+			mapS, jobS = res.AvgMapSeconds, res.JobSeconds
+		}
+		b.ReportMetric(mapS, "sim-map-s")
+		b.ReportMetric(jobS, "sim-job-s")
+	}
+	b.Run("RS", func(b *testing.B) { run(b, carousel.SchemeRS{Code: rs}) })
+	b.Run("Carousel_p12", func(b *testing.B) { run(b, carousel.SchemeCarousel{Code: code}) })
+}
+
+// BenchmarkFig11ParallelRead reports the simulated retrieval time of a
+// file from capped datanodes under each scheme.
+func BenchmarkFig11ParallelRead(b *testing.B) {
+	const mbps = 1e6 / 8
+	code, err := carousel.New(12, 6, 10, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := carousel.NewReedSolomon(12, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blockSize := benchMB / code.BlockAlign() * code.BlockAlign()
+	data := workload.Text(6*blockSize, 11)
+	run := func(b *testing.B, scheme carousel.Scheme, mode int) {
+		var took float64
+		for i := 0; i < b.N; i++ {
+			sim := carousel.NewSim()
+			cl := carousel.NewCluster(sim, 18, carousel.NodeSpec{DiskReadBW: 300 * mbps / 32})
+			client := cl.AddNode("client", carousel.NodeSpec{NetInBW: 2500 * mbps / 32})
+			fs := carousel.NewFS(cl, cl.Nodes()[:18])
+			if _, err := fs.Write("f", data, blockSize, scheme); err != nil {
+				b.Fatal(err)
+			}
+			rm := carousel.ReadSequential
+			if mode == 1 {
+				rm = carousel.ReadParallel
+			}
+			sim.Go("get", func(p *carousel.Proc) {
+				res, err := fs.Read(p, client, "f", rm)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				_ = res
+				took = p.Now()
+			})
+			sim.Run()
+		}
+		b.ReportMetric(took, "sim-read-s")
+	}
+	b.Run("Replication3x_sequential", func(b *testing.B) {
+		run(b, carousel.SchemeReplication{Copies: 3}, 0)
+	})
+	b.Run("RS_parallel", func(b *testing.B) { run(b, carousel.SchemeRS{Code: rs}, 1) })
+	b.Run("Carousel_p10_parallel", func(b *testing.B) { run(b, carousel.SchemeCarousel{Code: code}, 1) })
+}

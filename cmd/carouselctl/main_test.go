@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeInput creates a temporary input file and returns its path plus the
+// output directory path.
+func writeInput(t *testing.T, size int) (input, outDir string, data []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	data = make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(data)
+	input = filepath.Join(dir, "input.bin")
+	if err := os.WriteFile(input, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return input, filepath.Join(dir, "enc"), data
+}
+
+func TestEncodeInfoDecodeRoundTrip(t *testing.T) {
+	input, outDir, data := writeInput(t, 100_000)
+	if err := cmdEncode([]string{input, outDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{outDir}); err != nil {
+		t.Fatal(err)
+	}
+	output := filepath.Join(t.TempDir(), "out.bin")
+	if err := cmdDecode([]string{outDir, output}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("decode round trip mismatch")
+	}
+}
+
+func TestDecodeWithMissingBlocks(t *testing.T) {
+	input, outDir, data := writeInput(t, 50_000)
+	if err := cmdEncode([]string{"-n", "12", "-k", "6", "-d", "10", "-p", "12", input, outDir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 3, 6, 9, 10, 11} {
+		if err := os.Remove(blockPath(outDir, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	output := filepath.Join(t.TempDir(), "out.bin")
+	if err := cmdDecode([]string{outDir, output}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded decode mismatch")
+	}
+	// Losing one more block crosses n-k.
+	if err := os.Remove(blockPath(outDir, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDecode([]string{outDir, output}); err == nil {
+		t.Fatal("decode beyond the failure budget did not error")
+	}
+}
+
+func TestRepairRestoresBlockFile(t *testing.T) {
+	input, outDir, _ := writeInput(t, 30_000)
+	if err := cmdEncode([]string{input, outDir}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(blockPath(outDir, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(blockPath(outDir, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRepair([]string{"-block", "5", outDir}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(blockPath(outDir, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("repaired block differs from the original")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	input, outDir, _ := writeInput(t, 20_000)
+	if err := cmdEncode([]string{input, outDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{outDir}); err != nil {
+		t.Fatalf("clean verify failed: %v", err)
+	}
+	// Flip a byte in block 2.
+	path := blockPath(outDir, 2)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[10] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{outDir}); err == nil {
+		t.Fatal("verify accepted a corrupted block")
+	}
+	// Repair and re-verify.
+	if err := cmdRepair([]string{"-block", "2", outDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{outDir}); err != nil {
+		t.Fatalf("verify after repair: %v", err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEncode([]string{empty, filepath.Join(dir, "out")}); err == nil {
+		t.Fatal("empty input did not error")
+	}
+	if err := cmdEncode([]string{"-n", "6", "-k", "6", empty, filepath.Join(dir, "out")}); err == nil {
+		t.Fatal("invalid parameters did not error")
+	}
+	if err := cmdInfo([]string{filepath.Join(dir, "nope")}); err == nil {
+		t.Fatal("missing manifest did not error")
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: encode a buffer with a (12, 6, 10, 12) Carousel code, lose
+// the maximum tolerable number of blocks, read the data back, and repair a
+// lost block with optimal network traffic.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"carousel"
+)
+
+func main() {
+	// An (n=12, k=6, d=10, p=12) code: 2x storage overhead like RS(12,6),
+	// tolerates any 6 lost blocks, but embeds original data in all 12
+	// blocks and repairs one loss with 2 blocks of traffic instead of 6.
+	code, err := carousel.New(12, 6, 10, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	original := make([]byte, 1<<20)
+	rand.New(rand.NewSource(42)).Read(original)
+
+	// Split pads the data into k aligned shards; Encode produces n blocks.
+	shards, blockSize, err := carousel.Split(original, code.K(), code.BlockAlign())
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocks, err := code.Encode(shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded %d bytes into %d blocks of %d bytes\n", len(original), len(blocks), blockSize)
+	for i := 0; i < code.P(); i++ {
+		lo, hi := code.DataRange(i, blockSize)
+		fmt.Printf("  block %2d holds original bytes [%7d, %7d) at its front\n", i, lo, hi)
+	}
+
+	// Lose n-k = 6 blocks: the worst tolerable failure.
+	for _, i := range []int{0, 2, 4, 6, 8, 10} {
+		blocks[i] = nil
+	}
+	data, err := code.ParallelRead(blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(data[:len(original)], original) {
+		log.Fatal("decoded data differs from the original")
+	}
+	fmt.Println("recovered the full file from the 6 surviving blocks")
+
+	// Repair block 0 from d=10 helpers. First restore enough blocks to
+	// have 10 survivors (re-encode), then regenerate.
+	blocks, err = code.Encode(shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := blocks[0]
+	helpers := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	repaired, err := code.Repair(0, helpers, blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(repaired, want) {
+		log.Fatal("repair produced a different block")
+	}
+	fmt.Printf("repaired block 0 moving %d bytes (%.2f blocks); an RS repair moves %d bytes (%d blocks)\n",
+		code.ReconstructionTraffic(blockSize),
+		float64(code.ReconstructionTraffic(blockSize))/float64(blockSize),
+		code.K()*blockSize, code.K())
+}

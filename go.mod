@@ -1,0 +1,3 @@
+module carousel
+
+go 1.22

@@ -1,0 +1,158 @@
+// Package bench holds the shared machinery of the benchmark harnesses in
+// cmd/codingbench and cmd/clusterbench: code-family construction for the
+// paper's parameter sweeps, wall-clock throughput measurement, and plain
+// table output matching the rows/series of the paper's figures.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"carousel/internal/carousel"
+	"carousel/internal/msr"
+	"carousel/internal/reedsolomon"
+)
+
+// Family bundles the four codes the microbenchmarks compare at one k, with
+// n = 2k: RS, Carousel with d = k, MSR with d = 2k-1, and Carousel with
+// d = 2k-1 (the paper's Fig. 6-8 series).
+type Family struct {
+	K    int
+	RS   *reedsolomon.Code
+	CarK *carousel.Code // Carousel(2k, k, k, 2k)
+	MSR  *msr.Code      // MSR(2k, k, 2k-1)
+	CarD *carousel.Code // Carousel(2k, k, 2k-1, 2k)
+}
+
+// NewFamily builds the four codes for one k.
+func NewFamily(k int) (*Family, error) {
+	n := 2 * k
+	rs, err := reedsolomon.New(n, k)
+	if err != nil {
+		return nil, fmt.Errorf("bench: RS(%d,%d): %w", n, k, err)
+	}
+	carK, err := carousel.New(n, k, k, n)
+	if err != nil {
+		return nil, fmt.Errorf("bench: Carousel(%d,%d,%d,%d): %w", n, k, k, n, err)
+	}
+	m, err := msr.New(n, k, 2*k-1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: MSR(%d,%d,%d): %w", n, k, 2*k-1, err)
+	}
+	carD, err := carousel.New(n, k, 2*k-1, n)
+	if err != nil {
+		return nil, fmt.Errorf("bench: Carousel(%d,%d,%d,%d): %w", n, k, 2*k-1, n, err)
+	}
+	return &Family{K: k, RS: rs, CarK: carK, MSR: m, CarD: carD}, nil
+}
+
+// AlignBlockSize rounds size up to a multiple of every code's alignment in
+// the family, so one block size serves all four codes.
+func (f *Family) AlignBlockSize(size int) int {
+	align := lcm(f.CarK.BlockAlign(), f.CarD.BlockAlign())
+	align = lcm(align, f.MSR.Alpha())
+	return (size + align - 1) / align * align
+}
+
+func lcm(a, b int) int {
+	return a / gcd(a, b) * b
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// RandomShards returns k deterministic pseudo-random shards of the given
+// size.
+func RandomShards(k, size int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+// Measure runs fn reps times and returns the throughput in MB/s, where
+// bytes is the data volume one call processes. One untimed warmup call
+// populates caches (decode matrices, page tables).
+func Measure(reps int, bytes int, fn func()) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	fn() // warmup
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(bytes) * float64(reps) / el / 1e6
+}
+
+// MeasureSeconds returns the mean wall-clock seconds of fn over reps runs
+// after one warmup.
+func MeasureSeconds(reps int, fn func()) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	fn()
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start).Seconds() / float64(reps)
+}
+
+// Table prints an aligned table: a header row and data rows.
+type Table struct {
+	w   *tabwriter.Writer
+	out io.Writer
+}
+
+// NewTable starts a table on the writer.
+func NewTable(out io.Writer, headers ...string) *Table {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(headers, "\t"))
+	sep := make([]string, len(headers))
+	for i, h := range headers {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(w, strings.Join(sep, "\t"))
+	return &Table{w: w, out: out}
+}
+
+// Row appends one formatted row.
+func (t *Table) Row(cells ...any) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf("%.2f", v)
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	fmt.Fprintln(t.w, strings.Join(parts, "\t"))
+}
+
+// Flush renders the table.
+func (t *Table) Flush() {
+	t.w.Flush()
+	fmt.Fprintln(t.out)
+}
+
+// Section prints a figure/table heading.
+func Section(out io.Writer, title string) {
+	fmt.Fprintf(out, "=== %s ===\n", title)
+}

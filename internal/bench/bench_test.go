@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewFamilyShapes(t *testing.T) {
+	for _, k := range []int{2, 4, 6} {
+		f, err := NewFamily(k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if f.RS.N() != 2*k || f.RS.K() != k {
+			t.Fatalf("k=%d: RS shape (%d,%d)", k, f.RS.N(), f.RS.K())
+		}
+		if f.MSR.D() != 2*k-1 {
+			t.Fatalf("k=%d: MSR d=%d, want %d", k, f.MSR.D(), 2*k-1)
+		}
+		if f.CarK.P() != 2*k || f.CarD.P() != 2*k {
+			t.Fatalf("k=%d: carousel p mismatch", k)
+		}
+	}
+}
+
+func TestAlignBlockSize(t *testing.T) {
+	f, err := NewFamily(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := f.AlignBlockSize(1 << 20)
+	if size < 1<<20 {
+		t.Fatalf("aligned size %d below request", size)
+	}
+	for _, align := range []int{f.CarK.BlockAlign(), f.CarD.BlockAlign(), f.MSR.Alpha()} {
+		if size%align != 0 {
+			t.Fatalf("size %d not aligned to %d", size, align)
+		}
+	}
+}
+
+func TestRandomShardsDeterministic(t *testing.T) {
+	a := RandomShards(3, 100, 7)
+	b := RandomShards(3, 100, 7)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatal("shards not deterministic")
+		}
+	}
+	c := RandomShards(3, 100, 8)
+	if bytes.Equal(a[0], c[0]) {
+		t.Fatal("different seeds produced identical shards")
+	}
+}
+
+func TestMeasurePositive(t *testing.T) {
+	x := 0
+	mbs := Measure(2, 1000, func() { x++ })
+	if mbs <= 0 {
+		t.Fatalf("Measure = %g, want positive", mbs)
+	}
+	if x != 3 { // warmup + 2 reps
+		t.Fatalf("fn called %d times, want 3", x)
+	}
+	secs := MeasureSeconds(2, func() {})
+	if secs < 0 {
+		t.Fatalf("MeasureSeconds = %g", secs)
+	}
+}
+
+func TestTableOutput(t *testing.T) {
+	var sb strings.Builder
+	tab := NewTable(&sb, "k", "value")
+	tab.Row(2, 3.14159)
+	tab.Row("x", "y")
+	tab.Flush()
+	out := sb.String()
+	for _, want := range []string{"k", "value", "3.14", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	var sb2 strings.Builder
+	Section(&sb2, "Fig. X")
+	if !strings.Contains(sb2.String(), "=== Fig. X ===") {
+		t.Fatalf("section output: %q", sb2.String())
+	}
+}

@@ -1,0 +1,239 @@
+package blockserver
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"carousel/internal/carousel"
+)
+
+func mustCode(t *testing.T) *carousel.Code {
+	t.Helper()
+	c, err := carousel.New(12, 6, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// startServers spins n servers on ephemeral localhost ports.
+func startServers(t *testing.T, code *carousel.Code, n int) ([]*Server, []string) {
+	t.Helper()
+	servers := make([]*Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := NewServer(code)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		addrs[i] = addr
+		t.Cleanup(func() { srv.Close() })
+	}
+	return servers, addrs
+}
+
+func TestPutGetRangeDeleteStat(t *testing.T) {
+	_, addrs := startServers(t, nil, 1)
+	c, err := Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	data := []byte("hello block world")
+	if err := c.Put("b1", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q", got)
+	}
+	size, err := c.Stat("b1")
+	if err != nil || size != len(data) {
+		t.Fatalf("Stat = %d, %v", size, err)
+	}
+	part, err := c.GetRange("b1", 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(part) != "block" {
+		t.Fatalf("GetRange = %q", part)
+	}
+	if _, err := c.GetRange("b1", 10, 100); err == nil {
+		t.Fatal("out-of-range read did not error")
+	}
+	if err := c.Delete("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("b1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+	if _, err := c.Stat("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat missing: %v", err)
+	}
+}
+
+func TestChunkComputedServerSide(t *testing.T) {
+	code := mustCode(t)
+	_, addrs := startServers(t, code, 1)
+	blockSize := code.BlockAlign() * 64
+	rng := rand.New(rand.NewSource(1))
+	shards := make([][]byte, 6)
+	for i := range shards {
+		shards[i] = make([]byte, blockSize)
+		rng.Read(shards[i])
+	}
+	blocks, err := code.Encode(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("blk", blocks[3]); err != nil {
+		t.Fatal(err)
+	}
+	chunk, err := c.Chunk("blk", 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := code.HelperChunk(3, 0, blocks[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chunk, want) {
+		t.Fatal("server-side chunk differs from local computation")
+	}
+	if len(chunk) != blockSize/code.Alpha() {
+		t.Fatalf("chunk size %d, want %d", len(chunk), blockSize/code.Alpha())
+	}
+	// Chunk on a code-less server errors in-band.
+	_, plain := startServers(t, nil, 1)
+	c2, err := Dial(plain[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Put("blk", blocks[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Chunk("blk", 3, 0); err == nil {
+		t.Fatal("chunk on code-less server did not error")
+	}
+}
+
+func TestStoreEndToEnd(t *testing.T) {
+	code := mustCode(t)
+	servers, addrs := startServers(t, code, 12)
+	blockSize := code.BlockAlign() * 32
+	store, err := NewStore(code, addrs, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two full stripes plus a partial third.
+	size := 2*6*blockSize + blockSize + 17
+	data := make([]byte, size)
+	rand.New(rand.NewSource(2)).Read(data)
+	stripes, err := store.WriteFile("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripes != 3 {
+		t.Fatalf("stripes = %d, want 3", stripes)
+	}
+	got, err := store.ReadFile("f", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("healthy TCP read mismatch")
+	}
+
+	// Kill a server: degraded read still succeeds.
+	servers[4].Close()
+	got, err = store.ReadFile("f", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded TCP read mismatch")
+	}
+}
+
+func TestStoreRepairOverTCP(t *testing.T) {
+	code := mustCode(t)
+	servers, addrs := startServers(t, code, 12)
+	blockSize := code.BlockAlign() * 32
+	store, err := NewStore(code, addrs, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 6*blockSize)
+	rand.New(rand.NewSource(3)).Read(data)
+	if _, err := store.WriteFile("f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Wipe block 2 on its server, then repair it through helper chunks.
+	c, err := Dial(addrs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(blockName("f", 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	traffic, err := store.Repair("f", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := code.D() * (blockSize / code.Alpha()); traffic != want {
+		t.Fatalf("repair traffic = %d, want the optimal %d", traffic, want)
+	}
+	got, err := store.ReadFile("f", len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read after TCP repair mismatch")
+	}
+	_ = servers
+}
+
+func TestStoreValidation(t *testing.T) {
+	code := mustCode(t)
+	if _, err := NewStore(code, make([]string, 3), 100); err == nil {
+		t.Error("wrong server count did not error")
+	}
+	addrs := make([]string, 12)
+	if _, err := NewStore(code, addrs, code.BlockAlign()+1); err == nil {
+		t.Error("misaligned block size did not error")
+	}
+	store, err := NewStore(code, addrs, code.BlockAlign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.WriteFile("f", nil); err == nil {
+		t.Error("empty file did not error")
+	}
+}
+
+func TestProtocolNameValidation(t *testing.T) {
+	_, addrs := startServers(t, nil, 1)
+	c, err := Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("", []byte("x")); err == nil {
+		t.Error("empty name did not error")
+	}
+}

@@ -1,0 +1,108 @@
+package blockserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+)
+
+// Client talks to one block server. It keeps a single connection and is
+// not safe for concurrent use; open one client per goroutine (parallel
+// reads do exactly that).
+type Client struct {
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("blockserver: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// request sends the op header and name.
+func (c *Client) request(op byte, name string) error {
+	if _, err := c.conn.Write([]byte{op}); err != nil {
+		return err
+	}
+	return writeName(c.conn, name)
+}
+
+// Put stores a block under name.
+func (c *Client) Put(name string, data []byte) error {
+	if err := c.request(opPut, name); err != nil {
+		return err
+	}
+	if err := writeFrame(c.conn, data); err != nil {
+		return err
+	}
+	_, err := readResponse(c.conn)
+	return err
+}
+
+// Get fetches a whole block.
+func (c *Client) Get(name string) ([]byte, error) {
+	if err := c.request(opGet, name); err != nil {
+		return nil, err
+	}
+	return readResponse(c.conn)
+}
+
+// GetRange fetches length bytes starting at off — how a parallel reader
+// pulls only the data prefix of a Carousel block.
+func (c *Client) GetRange(name string, off, length int) ([]byte, error) {
+	if err := c.request(opRange, name); err != nil {
+		return nil, err
+	}
+	if err := writeU32(c.conn, uint32(off)); err != nil {
+		return nil, err
+	}
+	if err := writeU32(c.conn, uint32(length)); err != nil {
+		return nil, err
+	}
+	return readResponse(c.conn)
+}
+
+// Chunk asks the server to compute its repair contribution for the failed
+// block index; only blockSize/alpha bytes come back.
+func (c *Client) Chunk(name string, helper, failed int) ([]byte, error) {
+	if err := c.request(opChunk, name); err != nil {
+		return nil, err
+	}
+	if err := writeU32(c.conn, uint32(helper)); err != nil {
+		return nil, err
+	}
+	if err := writeU32(c.conn, uint32(failed)); err != nil {
+		return nil, err
+	}
+	return readResponse(c.conn)
+}
+
+// Delete removes a block.
+func (c *Client) Delete(name string) error {
+	if err := c.request(opDelete, name); err != nil {
+		return err
+	}
+	_, err := readResponse(c.conn)
+	return err
+}
+
+// Stat returns the size of a block.
+func (c *Client) Stat(name string) (int, error) {
+	if err := c.request(opStat, name); err != nil {
+		return 0, err
+	}
+	payload, err := readResponse(c.conn)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("blockserver: malformed stat response of %d bytes", len(payload))
+	}
+	return int(binary.BigEndian.Uint32(payload)), nil
+}

@@ -1,0 +1,153 @@
+// Package blockserver implements a minimal TCP block store — the
+// deployable analog of the paper's Hadoop datanode integration. Each
+// server holds named blocks and, crucially, computes Carousel repair
+// chunks *server-side*: during a reconstruction only the chunk
+// (blockSize/alpha bytes) crosses the network, exactly the paper's optimal
+// repair traffic.
+//
+// The wire protocol is a simple length-prefixed binary format over TCP:
+//
+//	request  := op(1) nameLen(2) name args...
+//	response := status(1) payloadLen(4) payload
+//
+// Operations: put, get, range (partial read for parallel reads of data
+// prefixes), chunk (helper-side repair computation), delete, stat.
+package blockserver
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Operation codes.
+const (
+	opPut byte = iota + 1
+	opGet
+	opRange
+	opChunk
+	opDelete
+	opStat
+)
+
+// Status codes.
+const (
+	statusOK byte = iota
+	statusNotFound
+	statusError
+)
+
+// maxNameLen bounds block names on the wire.
+const maxNameLen = 4096
+
+// maxPayload bounds a single payload (1 GiB), protecting servers from
+// bogus length prefixes.
+const maxPayload = 1 << 30
+
+// ErrNotFound is returned when a server does not hold the named block.
+var ErrNotFound = errors.New("blockserver: block not found")
+
+// writeFrame writes a length-prefixed byte string.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads a length-prefixed byte string.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxPayload {
+		return nil, fmt.Errorf("blockserver: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeName writes a length-prefixed block name.
+func writeName(w io.Writer, name string) error {
+	if len(name) == 0 || len(name) > maxNameLen {
+		return fmt.Errorf("blockserver: invalid name length %d", len(name))
+	}
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(name)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, name)
+	return err
+}
+
+// readName reads a length-prefixed block name.
+func readName(r io.Reader) (string, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", err
+	}
+	n := binary.BigEndian.Uint16(hdr[:])
+	if n == 0 || n > maxNameLen {
+		return "", fmt.Errorf("blockserver: invalid name length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// writeU32 / readU32 move fixed integers.
+func writeU32(w io.Writer, v uint32) error {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+// respond writes a status byte plus payload frame.
+func respond(w io.Writer, status byte, payload []byte) error {
+	if _, err := w.Write([]byte{status}); err != nil {
+		return err
+	}
+	return writeFrame(w, payload)
+}
+
+// readResponse reads a status byte plus payload frame and maps non-OK
+// statuses to errors.
+func readResponse(r io.Reader) ([]byte, error) {
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	switch status[0] {
+	case statusOK:
+		return payload, nil
+	case statusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("blockserver: remote error: %s", payload)
+	}
+}

@@ -1,0 +1,193 @@
+package blockserver
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"carousel/internal/carousel"
+)
+
+// Server is one block store: a TCP listener over an in-memory block map.
+// When constructed with a Carousel code it also answers chunk requests,
+// computing the helper side of a repair locally so only blockSize/alpha
+// bytes leave the machine.
+type Server struct {
+	code *carousel.Code // may be nil: chunk requests are then rejected
+
+	mu     sync.RWMutex
+	blocks map[string][]byte
+
+	lnMu sync.Mutex
+	ln   net.Listener
+	wg   sync.WaitGroup
+}
+
+// NewServer returns a server; code may be nil for a plain block store.
+func NewServer(code *carousel.Code) *Server {
+	return &Server{code: code, blocks: make(map[string][]byte)}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
+// until Close. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("blockserver: listen: %w", err)
+	}
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.lnMu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serveConn handles one connection; each connection carries a sequence of
+// requests.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var op [1]byte
+		if _, err := conn.Read(op[:]); err != nil {
+			return
+		}
+		name, err := readName(conn)
+		if err != nil {
+			return
+		}
+		if err := s.handle(conn, op[0], name); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request; protocol errors close the connection,
+// application errors are reported in-band.
+func (s *Server) handle(conn net.Conn, op byte, name string) error {
+	switch op {
+	case opPut:
+		data, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.blocks[name] = data
+		s.mu.Unlock()
+		return respond(conn, statusOK, nil)
+
+	case opGet:
+		s.mu.RLock()
+		data, ok := s.blocks[name]
+		s.mu.RUnlock()
+		if !ok {
+			return respond(conn, statusNotFound, nil)
+		}
+		return respond(conn, statusOK, data)
+
+	case opRange:
+		off, err := readU32(conn)
+		if err != nil {
+			return err
+		}
+		length, err := readU32(conn)
+		if err != nil {
+			return err
+		}
+		s.mu.RLock()
+		data, ok := s.blocks[name]
+		s.mu.RUnlock()
+		if !ok {
+			return respond(conn, statusNotFound, nil)
+		}
+		if int(off)+int(length) > len(data) {
+			return respond(conn, statusError, []byte(fmt.Sprintf("range [%d,%d) exceeds block of %d bytes", off, off+length, len(data))))
+		}
+		return respond(conn, statusOK, data[off:off+length])
+
+	case opChunk:
+		helper, err := readU32(conn)
+		if err != nil {
+			return err
+		}
+		failed, err := readU32(conn)
+		if err != nil {
+			return err
+		}
+		if s.code == nil {
+			return respond(conn, statusError, []byte("server has no code configured"))
+		}
+		s.mu.RLock()
+		data, ok := s.blocks[name]
+		s.mu.RUnlock()
+		if !ok {
+			return respond(conn, statusNotFound, nil)
+		}
+		chunk, err := s.code.HelperChunk(int(helper), int(failed), data)
+		if err != nil {
+			return respond(conn, statusError, []byte(err.Error()))
+		}
+		return respond(conn, statusOK, chunk)
+
+	case opDelete:
+		s.mu.Lock()
+		delete(s.blocks, name)
+		s.mu.Unlock()
+		return respond(conn, statusOK, nil)
+
+	case opStat:
+		s.mu.RLock()
+		data, ok := s.blocks[name]
+		s.mu.RUnlock()
+		if !ok {
+			return respond(conn, statusNotFound, nil)
+		}
+		var size [4]byte
+		writeU32Into(size[:], uint32(len(data)))
+		return respond(conn, statusOK, size[:])
+
+	default:
+		return respond(conn, statusError, []byte(fmt.Sprintf("unknown op %d", op)))
+	}
+}
+
+func writeU32Into(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// BlockCount returns the number of stored blocks (for tests).
+func (s *Server) BlockCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}

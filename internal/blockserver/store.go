@@ -1,0 +1,219 @@
+package blockserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"carousel/internal/carousel"
+	"carousel/internal/reedsolomon"
+)
+
+// Store stripes files across n block servers with a Carousel code: block i
+// of every stripe lives on server i. Reads pull original data from up to p
+// servers in parallel over TCP; repairs move only the optimal chunk from
+// each of d helpers.
+type Store struct {
+	code      *carousel.Code
+	addrs     []string
+	blockSize int
+}
+
+// NewStore builds a store over n server addresses.
+func NewStore(code *carousel.Code, addrs []string, blockSize int) (*Store, error) {
+	if len(addrs) != code.N() {
+		return nil, fmt.Errorf("blockserver: store needs %d servers, got %d", code.N(), len(addrs))
+	}
+	if blockSize <= 0 || blockSize%code.BlockAlign() != 0 {
+		return nil, fmt.Errorf("blockserver: block size %d must be a positive multiple of %d", blockSize, code.BlockAlign())
+	}
+	return &Store{code: code, addrs: addrs, blockSize: blockSize}, nil
+}
+
+// blockName keys a block on its server.
+func blockName(file string, stripe, idx int) string {
+	return fmt.Sprintf("%s/%d/%d", file, stripe, idx)
+}
+
+// WriteFile encodes data into stripes and uploads block i of every stripe
+// to server i. It returns the stripe count.
+func (s *Store) WriteFile(name string, data []byte) (int, error) {
+	if len(data) == 0 {
+		return 0, errors.New("blockserver: empty file")
+	}
+	stripeData := s.code.K() * s.blockSize
+	stripes := (len(data) + stripeData - 1) / stripeData
+	for st := 0; st < stripes; st++ {
+		chunk := make([]byte, stripeData)
+		lo := st * stripeData
+		hi := lo + stripeData
+		if hi > len(data) {
+			hi = len(data)
+		}
+		copy(chunk, data[lo:hi])
+		shards := make([][]byte, s.code.K())
+		for i := range shards {
+			shards[i] = chunk[i*s.blockSize : (i+1)*s.blockSize]
+		}
+		blocks, err := s.code.Encode(shards)
+		if err != nil {
+			return 0, err
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(blocks))
+		for i, b := range blocks {
+			wg.Add(1)
+			go func(i int, b []byte) {
+				defer wg.Done()
+				errs[i] = s.put(s.addrs[i], blockName(name, st, i), b)
+			}(i, b)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	return stripes, nil
+}
+
+func (s *Store) put(addr, name string, data []byte) error {
+	c, err := Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return c.Put(name, data)
+}
+
+// ReadFile reassembles size bytes of the file, reading the data prefixes
+// of all reachable data-bearing blocks in parallel (one TCP stream per
+// server) and falling back to whole-block fetches for anything a degraded
+// stripe needs.
+func (s *Store) ReadFile(name string, size int) ([]byte, error) {
+	stripeData := s.code.K() * s.blockSize
+	stripes := (size + stripeData - 1) / stripeData
+	out := make([]byte, 0, size)
+	for st := 0; st < stripes; st++ {
+		data, err := s.readStripe(name, st)
+		if err != nil {
+			return nil, fmt.Errorf("blockserver: stripe %d: %w", st, err)
+		}
+		out = append(out, data...)
+	}
+	if len(out) < size {
+		return nil, fmt.Errorf("blockserver: short file: %d of %d bytes", len(out), size)
+	}
+	return out[:size], nil
+}
+
+// readStripe fetches one stripe's original data.
+func (s *Store) readStripe(name string, st int) ([]byte, error) {
+	n := s.code.N()
+	p := s.code.P()
+	usize := s.blockSize / s.code.UnitsPerBlock()
+	per := s.code.DataUnitsPerBlock() * usize
+
+	// First pass: fetch every data-bearing block's data prefix in
+	// parallel.
+	prefixes := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(s.addrs[i])
+			if err != nil {
+				return // treated as unavailable
+			}
+			defer c.Close()
+			data, err := c.GetRange(blockName(name, st, i), 0, per)
+			if err != nil {
+				return
+			}
+			prefixes[i] = data
+		}(i)
+	}
+	wg.Wait()
+
+	out := make([]byte, s.code.K()*s.blockSize)
+	var missing []int
+	for i := 0; i < p; i++ {
+		if prefixes[i] != nil {
+			copy(out[i*per:(i+1)*per], prefixes[i])
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return out, nil
+	}
+
+	// Degraded: fetch whole blocks from every reachable server and let
+	// the codec's parallel-read planner finish the job.
+	blocks := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(s.addrs[i])
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			data, err := c.Get(blockName(name, st, i))
+			if err != nil {
+				return
+			}
+			blocks[i] = data
+		}(i)
+	}
+	wg.Wait()
+	return s.code.ParallelRead(blocks)
+}
+
+// Repair regenerates block failed of a stripe from d helper chunks
+// computed server-side, uploads it to its home server, and reports the
+// bytes that crossed the network.
+func (s *Store) Repair(name string, st, failed int) (trafficBytes int, err error) {
+	n := s.code.N()
+	d := s.code.D()
+	helpers := make([]int, 0, d)
+	chunks := make([][]byte, 0, d)
+	// Probe helpers in order until d respond.
+	for i := 0; i < n && len(helpers) < d; i++ {
+		if i == failed {
+			continue
+		}
+		c, err := Dial(s.addrs[i])
+		if err != nil {
+			continue
+		}
+		chunk, cerr := c.Chunk(blockName(name, st, i), i, failed)
+		c.Close()
+		if cerr != nil {
+			continue
+		}
+		helpers = append(helpers, i)
+		chunks = append(chunks, chunk)
+		trafficBytes += len(chunk)
+	}
+	if len(helpers) < d {
+		return trafficBytes, fmt.Errorf("blockserver: only %d of %d helpers reachable", len(helpers), d)
+	}
+	block, err := s.code.RepairBlock(failed, helpers, chunks)
+	if err != nil {
+		return trafficBytes, err
+	}
+	if err := s.put(s.addrs[failed], blockName(name, st, failed), block); err != nil {
+		return trafficBytes, err
+	}
+	return trafficBytes, nil
+}
+
+// SplitFile pads data for WriteFile-compatible sizes; exposed for callers
+// that need the padded length up front.
+func SplitFile(data []byte, k, align int) ([][]byte, int, error) {
+	return reedsolomon.Split(data, k, align)
+}

@@ -1,0 +1,87 @@
+package carousel
+
+import (
+	"bytes"
+	"testing"
+
+	"carousel/internal/reedsolomon"
+)
+
+// FuzzSplitEncodeParallelRead round-trips arbitrary byte strings through
+// Split -> Encode -> (erasures) -> ParallelRead. The seed corpus runs as
+// part of the normal test suite; `go test -fuzz=Fuzz` explores further.
+func FuzzSplitEncodeParallelRead(f *testing.F) {
+	f.Add([]byte("carousel"), uint8(0))
+	f.Add([]byte{0}, uint8(3))
+	f.Add(bytes.Repeat([]byte{0xaa, 0x55}, 300), uint8(255))
+	code, err := New(6, 3, 5, 6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, mask uint8) {
+		if len(data) == 0 || len(data) > 1<<16 {
+			t.Skip()
+		}
+		shards, _, err := reedsolomon.Split(data, code.K(), code.BlockAlign())
+		if err != nil {
+			t.Skip()
+		}
+		blocks, err := code.Encode(shards)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		// Drop blocks per the mask, but never more than n-k.
+		dropped := 0
+		for i := 0; i < code.N() && dropped < code.N()-code.K(); i++ {
+			if mask&(1<<(i%8)) != 0 {
+				blocks[i] = nil
+				dropped++
+			}
+		}
+		out, err := code.ParallelRead(blocks)
+		if err != nil {
+			t.Fatalf("parallel read with %d drops: %v", dropped, err)
+		}
+		if !bytes.Equal(out[:len(data)], data) {
+			t.Fatalf("round trip mismatch (%d drops)", dropped)
+		}
+	})
+}
+
+// FuzzRepair regenerates a block after arbitrary data, checking repair
+// equals re-encode for every failed index derived from the fuzz input.
+func FuzzRepair(f *testing.F) {
+	f.Add([]byte("0123456789abcdef"), uint8(0))
+	f.Add([]byte{1, 2, 3}, uint8(7))
+	code, err := New(6, 3, 4, 6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, sel uint8) {
+		if len(data) == 0 || len(data) > 1<<14 {
+			t.Skip()
+		}
+		shards, _, err := reedsolomon.Split(data, code.K(), code.BlockAlign())
+		if err != nil {
+			t.Skip()
+		}
+		blocks, err := code.Encode(shards)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		failed := int(sel) % code.N()
+		helpers := make([]int, 0, code.D())
+		for i := 0; i < code.N() && len(helpers) < code.D(); i++ {
+			if i != failed {
+				helpers = append(helpers, i)
+			}
+		}
+		got, err := code.Repair(failed, helpers, blocks)
+		if err != nil {
+			t.Fatalf("repair: %v", err)
+		}
+		if !bytes.Equal(got, blocks[failed]) {
+			t.Fatalf("repair of block %d differs", failed)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package carousel
+
+import (
+	"fmt"
+
+	"carousel/internal/matrix"
+)
+
+// HelperChunkSize returns the number of bytes one helper uploads to repair
+// a block of the given size: blockSize/alpha with an MSR base (d > k), the
+// full block with a Reed-Solomon base (d == k).
+func (c *Code) HelperChunkSize(blockSize int) int {
+	return blockSize / c.alpha
+}
+
+// ReconstructionTraffic returns the total bytes downloaded by the newcomer
+// to repair one block: d chunks, i.e. the MSR optimum d/(d-k+1) blocks when
+// d > k and k blocks when d == k.
+func (c *Code) ReconstructionTraffic(blockSize int) int {
+	return c.d * c.HelperChunkSize(blockSize)
+}
+
+// HelperChunk computes the repair contribution of one helper for the failed
+// block. With an MSR base the helper combines its segments per sub-unit
+// using phi_failed — after undoing the block's reordering, exactly the
+// coefficient permutation of Fig. 4 — and uploads blockSize/alpha bytes.
+// With a Reed-Solomon base (d == k) the chunk is the entire block.
+func (c *Code) HelperChunk(helper, failed int, block []byte) ([]byte, error) {
+	if helper < 0 || helper >= c.n {
+		return nil, fmt.Errorf("%w: helper %d out of range [0,%d)", ErrBadHelpers, helper, c.n)
+	}
+	if failed < 0 || failed >= c.n {
+		return nil, fmt.Errorf("%w: failed block %d out of range [0,%d)", ErrBadHelpers, failed, c.n)
+	}
+	if helper == failed {
+		return nil, fmt.Errorf("%w: helper %d is the failed block", ErrBadHelpers, helper)
+	}
+	if err := c.checkBlockSize(len(block)); err != nil {
+		return nil, err
+	}
+	if c.base == nil {
+		out := make([]byte, len(block))
+		copy(out, block)
+		return out, nil
+	}
+	phi, err := c.base.RepairHelperVector(failed)
+	if err != nil {
+		return nil, err
+	}
+	usize := len(block) / c.units
+	canon := c.canonicalUnits(helper, block)
+	chunk := make([]byte, c.expand*usize)
+	// Sub-index t of the expansion is an independent copy of the base MSR
+	// code; combine the alpha segments at each t with phi.
+	for t := 0; t < c.expand; t++ {
+		segs := make([][]byte, c.alpha)
+		for s := 0; s < c.alpha; s++ {
+			segs[s] = canon[s*c.expand+t]
+		}
+		matrix.ApplyRowToUnits(phi, segs, chunk[t*usize:(t+1)*usize])
+	}
+	return chunk, nil
+}
+
+// RepairBlock regenerates the failed block from the d helper chunks, given
+// in the same order as helpers.
+func (c *Code) RepairBlock(failed int, helpers []int, chunks [][]byte) ([]byte, error) {
+	if err := c.validateHelpers(failed, helpers); err != nil {
+		return nil, err
+	}
+	if len(chunks) != c.d {
+		return nil, fmt.Errorf("%w: got %d chunks, want %d", ErrBlockCount, len(chunks), c.d)
+	}
+	chunkSize := -1
+	for i, ch := range chunks {
+		if ch == nil {
+			return nil, fmt.Errorf("%w: chunk %d is nil", ErrBlockCount, i)
+		}
+		if chunkSize == -1 {
+			chunkSize = len(ch)
+		} else if len(ch) != chunkSize {
+			return nil, fmt.Errorf("%w: chunk %d has %d bytes, want %d", ErrBlockSizeMismatch, i, len(ch), chunkSize)
+		}
+	}
+	if c.base == nil {
+		// Reed-Solomon base: chunks are whole blocks; decode and re-encode
+		// the failed block.
+		return c.repairFromBlocks(failed, helpers, chunks)
+	}
+	blockSize := chunkSize * c.alpha
+	if err := c.checkBlockSize(blockSize); err != nil {
+		return nil, err
+	}
+	usize := blockSize / c.units
+	comb, err := c.base.RepairCombiner(failed, helpers)
+	if err != nil {
+		return nil, err
+	}
+	block := make([]byte, blockSize)
+	canon := c.canonicalUnits(failed, block)
+	for t := 0; t < c.expand; t++ {
+		in := make([][]byte, c.d)
+		for j, ch := range chunks {
+			in[j] = ch[t*usize : (t+1)*usize : (t+1)*usize]
+		}
+		outs := make([][]byte, c.alpha)
+		for s := 0; s < c.alpha; s++ {
+			outs[s] = canon[s*c.expand+t]
+		}
+		comb.ApplyToUnits(in, outs)
+	}
+	return block, nil
+}
+
+// repairFromBlocks rebuilds the failed block from k full helper blocks
+// (the d == k path): decode the data units, then apply the failed block's
+// generator rows.
+func (c *Code) repairFromBlocks(failed int, helpers []int, blocks [][]byte) ([]byte, error) {
+	size := len(blocks[0])
+	if err := c.checkBlockSize(size); err != nil {
+		return nil, err
+	}
+	inv, err := c.decodeMatrix(append([]int(nil), helpers...))
+	if err != nil {
+		return nil, err
+	}
+	failedRows := make([]int, c.units)
+	for u := 0; u < c.units; u++ {
+		failedRows[u] = failed*c.units + u
+	}
+	rebuild := c.gen.SelectRows(failedRows).Mul(inv)
+	in := make([][]byte, 0, c.k*c.units)
+	for i, h := range helpers {
+		in = append(in, c.canonicalUnits(h, blocks[i])...)
+	}
+	block := make([]byte, size)
+	rebuild.ApplyToUnits(in, c.canonicalUnits(failed, block))
+	return block, nil
+}
+
+// Repair runs both sides of a reconstruction in one call: helper chunks are
+// computed from blocks (length n, failed entry ignored) and combined into
+// the regenerated block.
+func (c *Code) Repair(failed int, helpers []int, blocks [][]byte) ([]byte, error) {
+	if err := c.validateHelpers(failed, helpers); err != nil {
+		return nil, err
+	}
+	if len(blocks) != c.n {
+		return nil, fmt.Errorf("%w: got %d blocks, want %d", ErrBlockCount, len(blocks), c.n)
+	}
+	chunks := make([][]byte, len(helpers))
+	for i, h := range helpers {
+		if blocks[h] == nil {
+			return nil, fmt.Errorf("%w: helper %d has no block", ErrBadHelpers, h)
+		}
+		ch, err := c.HelperChunk(h, failed, blocks[h])
+		if err != nil {
+			return nil, err
+		}
+		chunks[i] = ch
+	}
+	return c.RepairBlock(failed, helpers, chunks)
+}
+
+func (c *Code) validateHelpers(failed int, helpers []int) error {
+	if failed < 0 || failed >= c.n {
+		return fmt.Errorf("%w: failed block %d out of range [0,%d)", ErrBadHelpers, failed, c.n)
+	}
+	if len(helpers) != c.d {
+		return fmt.Errorf("%w: got %d helpers, want d=%d", ErrBadHelpers, len(helpers), c.d)
+	}
+	seen := make(map[int]bool, len(helpers))
+	for _, h := range helpers {
+		if h < 0 || h >= c.n {
+			return fmt.Errorf("%w: helper %d out of range [0,%d)", ErrBadHelpers, h, c.n)
+		}
+		if h == failed {
+			return fmt.Errorf("%w: helper %d is the failed block", ErrBadHelpers, h)
+		}
+		if seen[h] {
+			return fmt.Errorf("%w: duplicate helper %d", ErrBadHelpers, h)
+		}
+		seen[h] = true
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStressDeterminism runs a large randomized workload twice (same seed)
+// and demands bit-identical completion times: the property every
+// simulated experiment in this repository rests on.
+func TestStressDeterminism(t *testing.T) {
+	run := func() []float64 {
+		rng := rand.New(rand.NewSource(1234))
+		s := NewSim()
+		c := NewCluster(s, 10, NodeSpec{
+			DiskReadBW: 100, DiskWriteBW: 80,
+			NetInBW: 200, NetOutBW: 150,
+			Slots: 2, ComputeBW: 50,
+		})
+		var times []float64
+		record := func(v float64) { times = append(times, v) }
+		for i := 0; i < 120; i++ {
+			src := c.Node(rng.Intn(10))
+			dst := c.Node(rng.Intn(10))
+			bytes := float64(rng.Intn(5000) + 100)
+			delay := rng.Float64() * 5
+			kind := rng.Intn(3)
+			s.GoAt(delay, "w", func(p *Proc) {
+				switch kind {
+				case 0:
+					ReadRemote(p, src, dst, bytes)
+				case 1:
+					src.ReadLocal(p, bytes)
+				default:
+					dst.Compute(p, bytes, 0.1)
+				}
+				record(p.Now())
+			})
+		}
+		s.Run()
+		return times
+	}
+	a := run()
+	b := run()
+	if len(a) != 120 || len(b) != 120 {
+		t.Fatalf("run lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterminism at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBytesServedAccounting checks the per-resource utilization counters:
+// every byte of a transfer is credited to each resource it crossed.
+func TestBytesServedAccounting(t *testing.T) {
+	s := NewSim()
+	disk := s.NewResource("disk", 50)
+	nic := s.NewResource("nic", 100)
+	s.Go("a", func(p *Proc) { p.Transfer(500, disk, nic) })
+	s.Go("b", func(p *Proc) { p.Transfer(300, nic) })
+	s.Run()
+	almost(t, disk.BytesServed(), 500, 1e-6, "disk bytes served")
+	almost(t, nic.BytesServed(), 800, 1e-6, "nic bytes served")
+}
+
+// TestConservationOfBytes checks the fluid model moves exactly the bytes
+// asked for: total transfer time x rate integrates back to the volume.
+func TestConservationOfBytes(t *testing.T) {
+	s := NewSim()
+	link := s.NewResource("link", 100)
+	volumes := []float64{250, 500, 750, 1000}
+	finishes := make([]float64, len(volumes))
+	for i, v := range volumes {
+		i, v := i, v
+		s.Go("f", func(p *Proc) {
+			p.Transfer(v, link)
+			finishes[i] = p.Now()
+		})
+	}
+	s.Run()
+	// Total volume 2500 at capacity 100 -> the last finish is exactly 25.
+	last := 0.0
+	for _, f := range finishes {
+		if f > last {
+			last = f
+		}
+	}
+	almost(t, last, 25, 1e-6, "makespan equals volume/capacity")
+	// Shorter flows finish strictly earlier under fair sharing.
+	for i := 1; i < len(finishes); i++ {
+		if finishes[i] <= finishes[i-1] {
+			t.Fatalf("finish order violated: %v", finishes)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resource is a capacity-limited stage that flows pass through: a disk, a
+// NIC direction, a client downlink. Concurrent flows through a resource
+// share its capacity max-min fairly.
+type Resource struct {
+	name     string
+	capacity float64 // bytes per second; math.Inf(1) for unlimited
+	// served accumulates the bytes that have flowed through, for
+	// utilization and load-balance reporting.
+	served float64
+}
+
+// BytesServed returns the total bytes that have flowed through the
+// resource so far (settled up to the last event).
+func (r *Resource) BytesServed() float64 { return r.served }
+
+// NewResource creates a resource with the given capacity in bytes/second.
+// Use math.Inf(1) for an unconstrained stage.
+func (s *Sim) NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cluster: resource %q needs positive capacity, got %g", name, capacity))
+	}
+	return &Resource{name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource capacity in bytes/second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// flow is an in-progress transfer through a set of resources.
+type flow struct {
+	remaining float64
+	rate      float64
+	last      float64 // time of last remaining update
+	resources []*Resource
+	proc      *Proc
+	doneEv    *event
+}
+
+// Transfer moves the given number of bytes through the listed resources,
+// blocking the process until completion. Rates adjust continuously as other
+// flows start and finish (max-min fair sharing across all resources).
+func (p *Proc) Transfer(bytes float64, resources ...*Resource) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("cluster: negative transfer of %g bytes", bytes))
+	}
+	if bytes == 0 || len(resources) == 0 {
+		return
+	}
+	s := p.sim
+	f := &flow{remaining: bytes, last: s.now, resources: resources, proc: p}
+	s.settleFlows()
+	s.flows[f] = struct{}{}
+	s.recomputeFlows()
+	p.park()
+}
+
+// settleFlows charges elapsed time against every flow's remaining bytes.
+func (s *Sim) settleFlows() {
+	for f := range s.flows {
+		if dt := s.now - f.last; dt > 0 {
+			moved := f.rate * dt
+			if moved > f.remaining {
+				moved = f.remaining
+			}
+			f.remaining -= moved
+			for _, r := range f.resources {
+				r.served += moved
+			}
+		}
+		f.last = s.now
+	}
+}
+
+// recomputeFlows assigns max-min fair rates by progressive water-filling
+// and reschedules every flow's completion event.
+func (s *Sim) recomputeFlows() {
+	if len(s.flows) == 0 {
+		return
+	}
+	type resState struct {
+		avail float64
+		count int
+	}
+	states := make(map[*Resource]*resState)
+	unfrozen := make(map[*flow]struct{}, len(s.flows))
+	for f := range s.flows {
+		unfrozen[f] = struct{}{}
+		for _, r := range f.resources {
+			st := states[r]
+			if st == nil {
+				st = &resState{avail: r.capacity}
+				states[r] = st
+			}
+			st.count++
+		}
+	}
+	for len(unfrozen) > 0 {
+		// Find the tightest resource.
+		share := math.Inf(1)
+		var bottleneck *Resource
+		for r, st := range states {
+			if st.count == 0 {
+				continue
+			}
+			if s := st.avail / float64(st.count); s < share {
+				share = s
+				bottleneck = r
+			}
+		}
+		if bottleneck == nil {
+			// All remaining flows pass only through unconstrained
+			// resources.
+			for f := range unfrozen {
+				f.rate = share
+				delete(unfrozen, f)
+			}
+			break
+		}
+		// Freeze exactly the unfrozen flows through the bottleneck at the
+		// fair share, then re-derive shares for the rest.
+		for f := range unfrozen {
+			through := false
+			for _, r := range f.resources {
+				if r == bottleneck {
+					through = true
+					break
+				}
+			}
+			if !through {
+				continue
+			}
+			f.rate = share
+			for _, r := range f.resources {
+				st := states[r]
+				st.avail -= share
+				if st.avail < 0 {
+					st.avail = 0
+				}
+				st.count--
+			}
+			delete(unfrozen, f)
+		}
+	}
+	// Reschedule completion events.
+	for f := range s.flows {
+		if f.doneEv != nil {
+			f.doneEv.cancelled = true
+			f.doneEv = nil
+		}
+		var at float64
+		if f.rate <= 0 {
+			continue // starved; will be rescheduled when rates change
+		}
+		if math.IsInf(f.rate, 1) {
+			at = s.now
+		} else {
+			at = s.now + f.remaining/f.rate
+		}
+		ff := f
+		f.doneEv = s.schedule(at, func() { s.finishFlow(ff) })
+	}
+}
+
+// finishFlow completes a flow: removes it, rebalances the others, and
+// resumes the owning process.
+func (s *Sim) finishFlow(f *flow) {
+	s.settleFlows()
+	delete(s.flows, f)
+	s.recomputeFlows()
+	s.runProc(f.proc)
+}

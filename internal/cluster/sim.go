@@ -1,0 +1,238 @@
+// Package cluster provides a deterministic discrete-event simulator of a
+// storage/compute cluster: nodes with disk and NIC bandwidth, network
+// transfers that share bandwidth max-min fairly, and per-node compute
+// slots. It stands in for the paper's 30-node EC2 Hadoop testbed: the
+// effects the paper measures in Figures 9-11 (map-task parallelism, read
+// stream parallelism, a 300 Mbps datanode read cap) are bandwidth and slot
+// arithmetic, which this package models explicitly with a fluid flow model.
+//
+// Simulated activities are written as ordinary Go functions running in
+// cooperative processes (Proc). Only one process executes at a time and all
+// scheduling is driven by a single event queue ordered by (time, sequence),
+// so runs are fully deterministic.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Sim is a discrete-event simulation kernel. Create with NewSim; not safe
+// for concurrent use (all activity happens inside Run).
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventHeap
+
+	yielded chan struct{} // running proc -> kernel
+
+	flows map[*flow]struct{}
+}
+
+// NewSim returns an empty simulation at time zero.
+func NewSim() *Sim {
+	return &Sim{
+		yielded: make(chan struct{}),
+		flows:   make(map[*flow]struct{}),
+	}
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// event is a scheduled callback.
+type event struct {
+	at        float64
+	seq       int64
+	fn        func()
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// schedule registers fn to run at absolute time at.
+func (s *Sim) schedule(at float64, fn func()) *event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// Run executes events until none remain. Every process must eventually
+// finish or park on an event that fires; a process parked forever (e.g. a
+// slot never released) leaves Run with that goroutine blocked, which the
+// deadlock detector in tests will surface.
+func (s *Sim) Run() {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+	}
+}
+
+// Proc is a cooperative simulated process. All Proc methods must be called
+// from within the process's own function.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation the process runs in.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() float64 { return p.sim.now }
+
+// Go starts a new process at the current simulated time.
+func (s *Sim) Go(name string, fn func(p *Proc)) {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	go func() {
+		<-p.resume
+		fn(p)
+		s.yielded <- struct{}{}
+	}()
+	s.schedule(s.now, func() { s.runProc(p) })
+}
+
+// GoAt starts a new process at the given absolute simulated time.
+func (s *Sim) GoAt(at float64, name string, fn func(p *Proc)) {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	go func() {
+		<-p.resume
+		fn(p)
+		s.yielded <- struct{}{}
+	}()
+	s.schedule(at, func() { s.runProc(p) })
+}
+
+// runProc hands control to a parked process and waits for it to park again
+// or finish. Called only from event callbacks, so the kernel and processes
+// strictly alternate.
+func (s *Sim) runProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-s.yielded
+}
+
+// park suspends the process until the kernel resumes it.
+func (p *Proc) park() {
+	p.sim.yielded <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d simulated seconds. Negative durations
+// are treated as zero.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	s := p.sim
+	s.schedule(s.now+d, func() { s.runProc(p) })
+	p.park()
+}
+
+// WaitGroup lets one process wait for a set of child processes, in the
+// style of sync.WaitGroup but on simulated time.
+type WaitGroup struct {
+	sim    *Sim
+	count  int
+	waiter *Proc
+}
+
+// NewWaitGroup returns a WaitGroup bound to the simulation.
+func (s *Sim) NewWaitGroup() *WaitGroup { return &WaitGroup{sim: s} }
+
+// Add increments the outstanding-work counter.
+func (w *WaitGroup) Add(n int) { w.count += n }
+
+// Done decrements the counter, waking the waiter at zero.
+func (w *WaitGroup) Done() {
+	w.count--
+	if w.count < 0 {
+		panic("cluster: WaitGroup counter went negative")
+	}
+	if w.count == 0 && w.waiter != nil {
+		p := w.waiter
+		w.waiter = nil
+		w.sim.schedule(w.sim.now, func() { w.sim.runProc(p) })
+	}
+}
+
+// Wait parks the calling process until the counter reaches zero. Only one
+// process may wait at a time.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	if w.waiter != nil {
+		panic(fmt.Sprintf("cluster: WaitGroup already has a waiter (%s)", w.waiter.name))
+	}
+	w.waiter = p
+	p.park()
+}
+
+// SlotPool models a fixed number of compute slots (e.g. map-task slots on a
+// node). Processes acquire a slot, hold it for simulated work, and release
+// it; waiters are served FIFO.
+type SlotPool struct {
+	sim   *Sim
+	slots int
+	inUse int
+	queue []*Proc
+}
+
+// NewSlotPool returns a pool with the given number of slots.
+func (s *Sim) NewSlotPool(slots int) *SlotPool {
+	if slots <= 0 {
+		panic(fmt.Sprintf("cluster: slot pool needs positive slots, got %d", slots))
+	}
+	return &SlotPool{sim: s, slots: slots}
+}
+
+// Acquire takes a slot, parking until one is free.
+func (sp *SlotPool) Acquire(p *Proc) {
+	if sp.inUse < sp.slots {
+		sp.inUse++
+		return
+	}
+	sp.queue = append(sp.queue, p)
+	p.park()
+	// The releaser transferred its slot to us.
+}
+
+// Release frees a slot, waking the first waiter if any.
+func (sp *SlotPool) Release() {
+	if len(sp.queue) > 0 {
+		next := sp.queue[0]
+		sp.queue = sp.queue[1:]
+		sp.sim.schedule(sp.sim.now, func() { sp.sim.runProc(next) })
+		return
+	}
+	sp.inUse--
+	if sp.inUse < 0 {
+		panic("cluster: slot pool released more than acquired")
+	}
+}
+
+// InUse returns the number of occupied slots.
+func (sp *SlotPool) InUse() int { return sp.inUse }

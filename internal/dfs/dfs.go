@@ -1,0 +1,477 @@
+// Package dfs models an HDFS-like distributed file system on top of the
+// cluster simulator: a namenode's metadata (files, stripes, block
+// locations), datanode block placement, encoded writes, parallel and
+// degraded reads, replication, and block reconstruction with per-operation
+// network traffic accounting.
+//
+// It is the substrate for the paper's cluster experiments: Fig. 9/10 run
+// MapReduce over files stored with Reed-Solomon, Carousel, or replication;
+// Fig. 11 retrieves a file from datanodes whose read throughput is capped.
+// Block content is held in memory (the simulation charges transfer and
+// compute time explicitly), so reads return real bytes and decodes are real
+// decodes.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+
+	"carousel/internal/carousel"
+	"carousel/internal/cluster"
+	"carousel/internal/reedsolomon"
+)
+
+// Common errors.
+var (
+	// ErrNotFound is returned for unknown file names.
+	ErrNotFound = errors.New("dfs: file not found")
+
+	// ErrUnavailable is returned when too few blocks survive to serve a
+	// request.
+	ErrUnavailable = errors.New("dfs: data unavailable")
+
+	// ErrExists is returned when writing a file name that is taken.
+	ErrExists = errors.New("dfs: file already exists")
+)
+
+// Scheme is a redundancy scheme a file can be stored with.
+type Scheme interface {
+	// Name identifies the scheme in stats and cost tables.
+	Name() string
+	// scheme is a sealed marker.
+	scheme()
+}
+
+// Replication stores Copies full replicas of every block (Copies >= 1;
+// Copies == 1 means no redundancy, the paper's "1x replication").
+type Replication struct {
+	Copies int
+}
+
+// Name implements Scheme.
+func (r Replication) Name() string { return fmt.Sprintf("%dx-replication", r.Copies) }
+func (Replication) scheme()        {}
+
+// RS stores each stripe of k blocks as n systematic Reed-Solomon blocks.
+type RS struct {
+	Code *reedsolomon.Code
+}
+
+// Name implements Scheme.
+func (r RS) Name() string { return fmt.Sprintf("rs(%d,%d)", r.Code.N(), r.Code.K()) }
+func (RS) scheme()        {}
+
+// Carousel stores each stripe with an (n, k, d, p) Carousel code.
+type Carousel struct {
+	Code *carousel.Code
+}
+
+// Name implements Scheme.
+func (c Carousel) Name() string {
+	return fmt.Sprintf("carousel(%d,%d,%d,%d)", c.Code.N(), c.Code.K(), c.Code.D(), c.Code.P())
+}
+func (Carousel) scheme() {}
+
+// block is one stored block (or replica group).
+type block struct {
+	content []byte
+	// crc records the Castagnoli CRC-32 of the content at write time, the
+	// ground truth Scrub checks against.
+	crc uint32
+	// locations lists datanode IDs holding replicas; for coded schemes a
+	// block has exactly one location. A lost replica is removed from the
+	// list; the content stays for verification but is unreachable when no
+	// locations remain.
+	locations []int
+}
+
+// stripe groups the blocks of one coding stripe (or, for replication, one
+// source block with its replicas as locations).
+type stripe struct {
+	blocks []*block
+}
+
+// File is the namenode's record of one stored file.
+type File struct {
+	name      string
+	size      int
+	blockSize int
+	scheme    Scheme
+	stripes   []*stripe
+	// dataPerStripe is the number of original-data bytes each stripe
+	// carries (k * blockSize for coded schemes, blockSize for
+	// replication).
+	dataPerStripe int
+	// original keeps the source bytes for boundary fix-ups (the record
+	// reader peeking past a split, as Hadoop's TextInputFormat does) and
+	// for verification in tests.
+	original []byte
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the original data size in bytes.
+func (f *File) Size() int { return f.size }
+
+// BlockSize returns the stored block size in bytes.
+func (f *File) BlockSize() int { return f.blockSize }
+
+// Scheme returns the redundancy scheme.
+func (f *File) Scheme() Scheme { return f.scheme }
+
+// Stripes returns the number of stripes.
+func (f *File) Stripes() int { return len(f.stripes) }
+
+// Stats accumulates traffic accounting across operations.
+type Stats struct {
+	// BytesRead counts bytes transferred from datanodes to clients.
+	BytesRead int64
+	// BytesRepair counts bytes transferred between datanodes during
+	// reconstructions.
+	BytesRepair int64
+}
+
+// FS is the simulated distributed file system.
+type FS struct {
+	cluster   *cluster.Cluster
+	datanodes []*cluster.Node
+	files     map[string]*File
+	next      int     // round-robin placement cursor
+	racks     [][]int // optional rack topology (node IDs per rack)
+	stats     Stats
+
+	// DecodeBW maps scheme names to the client-side decode throughput in
+	// bytes/second used to charge simulated time for degraded reads.
+	// Missing entries mean decoding is free. The benchmark harness fills
+	// this from real measured codec throughput.
+	DecodeBW map[string]float64
+}
+
+// New creates a file system over the given datanodes.
+func New(c *cluster.Cluster, datanodes []*cluster.Node) *FS {
+	return &FS{
+		cluster:   c,
+		datanodes: datanodes,
+		files:     make(map[string]*File),
+		DecodeBW:  make(map[string]float64),
+	}
+}
+
+// Datanodes returns the datanode list.
+func (fs *FS) Datanodes() []*cluster.Node { return fs.datanodes }
+
+// Stats returns a copy of the accumulated traffic counters.
+func (fs *FS) Stats() Stats { return fs.stats }
+
+// File looks up a file by name.
+func (fs *FS) File(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return f, nil
+}
+
+// SetRacks declares the rack topology: racks[r] lists the datanode IDs of
+// rack r. When set, stripe placement spreads blocks across racks
+// round-robin, so losing one rack removes at most ceil(n/#racks) blocks of
+// any stripe — HDFS's rack-awareness applied to coded stripes. Nodes not
+// listed keep working but are never chosen for new writes.
+func (fs *FS) SetRacks(racks [][]int) error {
+	seen := make(map[int]bool)
+	for r, nodes := range racks {
+		if len(nodes) == 0 {
+			return fmt.Errorf("dfs: rack %d is empty", r)
+		}
+		for _, id := range nodes {
+			if seen[id] {
+				return fmt.Errorf("dfs: node %d appears in two racks", id)
+			}
+			seen[id] = true
+		}
+	}
+	fs.racks = racks
+	return nil
+}
+
+// RackOf returns the rack index of a node, or -1 without a topology.
+func (fs *FS) RackOf(nodeID int) int {
+	for r, nodes := range fs.racks {
+		for _, id := range nodes {
+			if id == nodeID {
+				return r
+			}
+		}
+	}
+	return -1
+}
+
+// FailRack removes every replica on every node of the rack.
+func (fs *FS) FailRack(rack int) error {
+	if rack < 0 || rack >= len(fs.racks) {
+		return fmt.Errorf("dfs: rack %d out of range [0,%d)", rack, len(fs.racks))
+	}
+	for _, id := range fs.racks[rack] {
+		fs.FailNode(id)
+	}
+	return nil
+}
+
+// place returns the next nodes for a stripe, spreading blocks across
+// distinct datanodes — and across racks when a topology is set.
+func (fs *FS) place(count int) ([]int, error) {
+	if len(fs.racks) > 0 {
+		return fs.placeRackAware(count)
+	}
+	if count > len(fs.datanodes) {
+		return nil, fmt.Errorf("dfs: stripe needs %d nodes but the cluster has %d datanodes", count, len(fs.datanodes))
+	}
+	ids := make([]int, count)
+	for i := range ids {
+		ids[i] = fs.datanodes[(fs.next+i)%len(fs.datanodes)].ID
+	}
+	fs.next = (fs.next + count) % len(fs.datanodes)
+	return ids, nil
+}
+
+// placeRackAware deals blocks onto racks round-robin, then onto nodes
+// within each rack, so per-rack block counts differ by at most one.
+func (fs *FS) placeRackAware(count int) ([]int, error) {
+	total := 0
+	for _, nodes := range fs.racks {
+		total += len(nodes)
+	}
+	if count > total {
+		return nil, fmt.Errorf("dfs: stripe needs %d nodes but the topology has %d", count, total)
+	}
+	ids := make([]int, 0, count)
+	offsets := make([]int, len(fs.racks))
+	rack := fs.next % len(fs.racks)
+	for len(ids) < count {
+		nodes := fs.racks[rack]
+		if offsets[rack] < len(nodes) {
+			// Rotate the starting node per stripe so load spreads over
+			// time as well as space.
+			idx := (offsets[rack] + fs.next/len(fs.racks)) % len(nodes)
+			ids = append(ids, nodes[idx])
+			offsets[rack]++
+		}
+		rack = (rack + 1) % len(fs.racks)
+	}
+	fs.next++
+	return ids, nil
+}
+
+// Write stores data under name with the given block size and scheme. The
+// write itself is not timed (no experiment in the paper measures ingest);
+// it lays out metadata and block content.
+func (fs *FS) Write(name string, data []byte, blockSize int, scheme Scheme) (*File, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if len(data) == 0 {
+		return nil, errors.New("dfs: cannot store empty file")
+	}
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("dfs: invalid block size %d", blockSize)
+	}
+	f := &File{name: name, size: len(data), blockSize: blockSize, scheme: scheme,
+		original: append([]byte(nil), data...)}
+	switch s := scheme.(type) {
+	case Replication:
+		if s.Copies < 1 {
+			return nil, fmt.Errorf("dfs: replication needs at least 1 copy, got %d", s.Copies)
+		}
+		f.dataPerStripe = blockSize
+		for off := 0; off < len(data); off += blockSize {
+			end := off + blockSize
+			if end > len(data) {
+				end = len(data)
+			}
+			content := make([]byte, blockSize)
+			copy(content, data[off:end])
+			locs, err := fs.place(s.Copies)
+			if err != nil {
+				return nil, err
+			}
+			f.stripes = append(f.stripes, &stripe{blocks: []*block{{content: content, crc: checksum(content), locations: locs}}})
+		}
+	case RS:
+		if err := fs.writeCoded(f, data, blockSize, s.Code.K(), s.Code.N(), func(shards [][]byte) ([][]byte, error) {
+			return s.Code.Encode(shards)
+		}); err != nil {
+			return nil, err
+		}
+	case Carousel:
+		if blockSize%s.Code.BlockAlign() != 0 {
+			return nil, fmt.Errorf("dfs: block size %d is not a multiple of the carousel alignment %d",
+				blockSize, s.Code.BlockAlign())
+		}
+		if err := fs.writeCoded(f, data, blockSize, s.Code.K(), s.Code.N(), func(shards [][]byte) ([][]byte, error) {
+			return s.Code.Encode(shards)
+		}); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("dfs: unknown scheme %T", scheme)
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// writeCoded splits data into stripes of k blocks, encodes each into n
+// blocks, and places them on distinct nodes.
+func (fs *FS) writeCoded(f *File, data []byte, blockSize, k, n int,
+	encode func([][]byte) ([][]byte, error)) error {
+	stripeData := k * blockSize
+	f.dataPerStripe = stripeData
+	for off := 0; off < len(data); off += stripeData {
+		end := off + stripeData
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := make([]byte, stripeData)
+		copy(chunk, data[off:end])
+		shards := make([][]byte, k)
+		for i := range shards {
+			shards[i] = chunk[i*blockSize : (i+1)*blockSize]
+		}
+		blocks, err := encode(shards)
+		if err != nil {
+			return err
+		}
+		locs, err := fs.place(n)
+		if err != nil {
+			return err
+		}
+		st := &stripe{blocks: make([]*block, n)}
+		for i, b := range blocks {
+			st.blocks[i] = &block{content: b, crc: checksum(b), locations: []int{locs[i]}}
+		}
+		f.stripes = append(f.stripes, st)
+	}
+	return nil
+}
+
+// FailNode removes every replica stored on the given datanode across all
+// files, simulating a machine loss.
+func (fs *FS) FailNode(nodeID int) {
+	for _, f := range fs.files {
+		for _, st := range f.stripes {
+			for _, b := range st.blocks {
+				keep := b.locations[:0]
+				for _, l := range b.locations {
+					if l != nodeID {
+						keep = append(keep, l)
+					}
+				}
+				b.locations = keep
+			}
+		}
+	}
+}
+
+// FailBlock removes all replicas of block idx in the given stripe of the
+// file, simulating an unavailable block.
+func (fs *FS) FailBlock(name string, stripeIdx, blockIdx int) error {
+	f, err := fs.File(name)
+	if err != nil {
+		return err
+	}
+	if stripeIdx < 0 || stripeIdx >= len(f.stripes) {
+		return fmt.Errorf("dfs: stripe %d out of range", stripeIdx)
+	}
+	st := f.stripes[stripeIdx]
+	if blockIdx < 0 || blockIdx >= len(st.blocks) {
+		return fmt.Errorf("dfs: block %d out of range", blockIdx)
+	}
+	st.blocks[blockIdx].locations = nil
+	return nil
+}
+
+// FailReplica removes a single replica of block idx in the given stripe
+// (the which-th location). Other replicas stay reachable — the failure a
+// replicated store sees when one machine dies.
+func (fs *FS) FailReplica(name string, stripeIdx, blockIdx, which int) error {
+	f, err := fs.File(name)
+	if err != nil {
+		return err
+	}
+	if stripeIdx < 0 || stripeIdx >= len(f.stripes) {
+		return fmt.Errorf("dfs: stripe %d out of range", stripeIdx)
+	}
+	st := f.stripes[stripeIdx]
+	if blockIdx < 0 || blockIdx >= len(st.blocks) {
+		return fmt.Errorf("dfs: block %d out of range", blockIdx)
+	}
+	b := st.blocks[blockIdx]
+	if which < 0 || which >= len(b.locations) {
+		return fmt.Errorf("dfs: replica %d out of range (%d replicas)", which, len(b.locations))
+	}
+	b.locations = append(b.locations[:which], b.locations[which+1:]...)
+	return nil
+}
+
+// Available reports whether block idx of the stripe has a reachable
+// replica.
+func (st *stripe) available(idx int) bool {
+	return len(st.blocks[idx].locations) > 0
+}
+
+// node returns the cluster node with the given ID.
+func (fs *FS) node(id int) *cluster.Node { return fs.cluster.Node(id) }
+
+// BlockLocation returns the datanode ID of the first reachable replica of
+// a block, or -1 when none survives.
+func (fs *FS) BlockLocation(name string, stripeIdx, blockIdx int) int {
+	f, err := fs.File(name)
+	if err != nil {
+		return -1
+	}
+	if stripeIdx < 0 || stripeIdx >= len(f.stripes) {
+		return -1
+	}
+	st := f.stripes[stripeIdx]
+	if blockIdx < 0 || blockIdx >= len(st.blocks) {
+		return -1
+	}
+	if locs := st.blocks[blockIdx].locations; len(locs) > 0 {
+		return locs[0]
+	}
+	return -1
+}
+
+// ReadRange returns up to length bytes of the original file starting at
+// off, clipped at the file end. It serves the few-byte peeks a record
+// reader makes past its split boundary; the transfer is not charged to the
+// simulation (it is negligible next to the split itself).
+func (fs *FS) ReadRange(name string, off, length int) ([]byte, error) {
+	f, err := fs.File(name)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("dfs: invalid range off=%d len=%d", off, length)
+	}
+	if off >= f.size {
+		return nil, nil
+	}
+	end := off + length
+	if end > f.size {
+		end = f.size
+	}
+	out := make([]byte, end-off)
+	copy(out, f.original[off:end])
+	return out, nil
+}
+
+// decodeSeconds converts decode work in bytes to simulated seconds for a
+// scheme.
+func (fs *FS) decodeSeconds(scheme Scheme, bytes int) float64 {
+	bw := fs.DecodeBW[scheme.Name()]
+	if bw <= 0 {
+		return 0
+	}
+	return float64(bytes) / bw
+}

@@ -1,0 +1,150 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+
+	"carousel/internal/cluster"
+)
+
+// racksOf splits the first n datanodes into rackCount racks.
+func racksOf(rig *testRig, n, rackCount int) [][]int {
+	racks := make([][]int, rackCount)
+	for i := 0; i < n; i++ {
+		r := i % rackCount
+		racks[r] = append(racks[r], rig.fs.Datanodes()[i].ID)
+	}
+	return racks
+}
+
+func TestSetRacksValidation(t *testing.T) {
+	rig := newRig(t, 6, cluster.NodeSpec{})
+	if err := rig.fs.SetRacks([][]int{{0, 1}, {}}); err == nil {
+		t.Error("empty rack did not error")
+	}
+	if err := rig.fs.SetRacks([][]int{{0, 1}, {1, 2}}); err == nil {
+		t.Error("duplicate node did not error")
+	}
+	if err := rig.fs.SetRacks([][]int{{0, 1, 2}, {3, 4, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.fs.RackOf(4); got != 1 {
+		t.Fatalf("RackOf(4) = %d, want 1", got)
+	}
+	if got := rig.fs.RackOf(99); got != -1 {
+		t.Fatalf("RackOf(99) = %d, want -1", got)
+	}
+}
+
+// TestRackAwarePlacementBoundsPerRackBlocks checks a 12-block stripe over
+// 4 racks puts exactly 3 blocks in each rack, so any single rack loss is
+// within the n-k = 6 failure budget.
+func TestRackAwarePlacementBoundsPerRackBlocks(t *testing.T) {
+	code := mustCarousel(t, 12, 6, 10, 12)
+	blockSize := code.BlockAlign() * code.Alpha() * 2
+	rig := newRig(t, 16, cluster.NodeSpec{DiskReadBW: 100 * mbps})
+	if err := rig.fs.SetRacks(racksOf(rig, 16, 4)); err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(2*6*blockSize, 91) // two stripes
+	if _, err := rig.fs.Write("f", data, blockSize, Carousel{Code: code}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := rig.fs.File("f")
+	for si, st := range f.stripes {
+		perRack := make(map[int]int)
+		for _, b := range st.blocks {
+			perRack[rig.fs.RackOf(b.locations[0])]++
+		}
+		for r, n := range perRack {
+			if n != 3 {
+				t.Fatalf("stripe %d rack %d holds %d blocks, want 3", si, r, n)
+			}
+		}
+	}
+	// Losing any one rack leaves every stripe readable.
+	for rack := 0; rack < 4; rack++ {
+		rig2 := newRig(t, 16, cluster.NodeSpec{DiskReadBW: 100 * mbps})
+		if err := rig2.fs.SetRacks(racksOf(rig2, 16, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rig2.fs.Write("f", data, blockSize, Carousel{Code: code}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rig2.fs.FailRack(rack); err != nil {
+			t.Fatal(err)
+		}
+		res, _ := rig2.runRead(t, "f", ReadParallel)
+		if !bytes.Equal(res.Data, data) {
+			t.Fatalf("rack %d loss broke the read", rack)
+		}
+	}
+}
+
+// TestNaivePlacementCanLoseDataToARack demonstrates why rack awareness
+// matters: with two "racks" of 6 and 10 nodes and naive (topology-free)
+// placement, 12 consecutive nodes can concentrate more than n-k blocks of
+// a stripe in one failure domain.
+func TestNaivePlacementCanLoseDataToARack(t *testing.T) {
+	code := mustCarousel(t, 12, 6, 10, 12)
+	blockSize := code.BlockAlign() * code.Alpha() * 2
+	rig := newRig(t, 12, cluster.NodeSpec{})
+	data := randBytes(6*blockSize, 92)
+	if _, err := rig.fs.Write("f", data, blockSize, Carousel{Code: code}); err != nil {
+		t.Fatal(err)
+	}
+	// A "rack" of the first 7 nodes dies: naive placement put 7 > n-k = 6
+	// blocks there.
+	for i := 0; i < 7; i++ {
+		rig.fs.FailNode(rig.fs.Datanodes()[i].ID)
+	}
+	var err error
+	rig.sim.Go("read", func(p *cluster.Proc) {
+		_, err = rig.fs.Read(p, rig.client, "f", ReadParallel)
+	})
+	rig.sim.Run()
+	if err == nil {
+		t.Fatal("expected data loss under naive placement")
+	}
+}
+
+func TestFailRackValidation(t *testing.T) {
+	rig := newRig(t, 4, cluster.NodeSpec{})
+	if err := rig.fs.FailRack(0); err == nil {
+		t.Error("FailRack without topology did not error")
+	}
+	if err := rig.fs.SetRacks([][]int{{0, 1}, {2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.fs.FailRack(5); err == nil {
+		t.Error("out-of-range rack did not error")
+	}
+}
+
+// TestRackAwarePlacementRotates checks consecutive stripes do not pin the
+// same nodes (the temporal rotation inside placeRackAware).
+func TestRackAwarePlacementRotates(t *testing.T) {
+	rig := newRig(t, 8, cluster.NodeSpec{})
+	if err := rig.fs.SetRacks(racksOf(rig, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(4000, 93)
+	if _, err := rig.fs.Write("f", data, 500, Replication{Copies: 2}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := rig.fs.File("f")
+	firstNodes := make(map[int]int)
+	for _, st := range f.stripes {
+		firstNodes[st.blocks[0].locations[0]]++
+	}
+	if len(firstNodes) < 2 {
+		t.Fatalf("placement pinned all stripes to one node: %v", firstNodes)
+	}
+	// Replicas of one block land on different racks.
+	for si, st := range f.stripes {
+		locs := st.blocks[0].locations
+		if rig.fs.RackOf(locs[0]) == rig.fs.RackOf(locs[1]) {
+			t.Fatalf("stripe %d replicas share a rack", si)
+		}
+	}
+}

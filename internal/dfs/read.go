@@ -1,0 +1,264 @@
+package dfs
+
+import (
+	"fmt"
+
+	"carousel/internal/cluster"
+)
+
+// ReadMode selects how a client retrieves a file.
+type ReadMode int
+
+const (
+	// ReadParallel streams from all relevant datanodes concurrently (the
+	// paper's custom download program for RS and Carousel, and HDFS
+	// replication read with one stream per block).
+	ReadParallel ReadMode = iota
+	// ReadSequential fetches block after block, like `hadoop fs -get`.
+	ReadSequential
+)
+
+// ReadResult reports a completed file retrieval.
+type ReadResult struct {
+	// Data is the reassembled original file content.
+	Data []byte
+	// Parallelism is the number of concurrent source streams used for one
+	// stripe.
+	Parallelism int
+	// BytesFetched counts bytes moved from datanodes to the client.
+	BytesFetched int64
+	// DecodeBytes counts output bytes that required GF(2^8) computation at
+	// the client (0 when all data was read verbatim).
+	DecodeBytes int64
+}
+
+// Read retrieves the file to the client node, charging simulated transfer
+// and decode time. It must be called from within a simulation process.
+func (fs *FS) Read(p *cluster.Proc, client *cluster.Node, name string, mode ReadMode) (*ReadResult, error) {
+	f, err := fs.File(name)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReadResult{Data: make([]byte, f.size)}
+	switch s := f.scheme.(type) {
+	case Replication:
+		err = fs.readReplicated(p, client, f, mode, res)
+	case RS:
+		err = fs.readRS(p, client, f, s, res)
+	case Carousel:
+		err = fs.readCarousel(p, client, f, s, res)
+	default:
+		err = fmt.Errorf("dfs: unknown scheme %T", f.scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fs.stats.BytesRead += res.BytesFetched
+	return res, nil
+}
+
+// readReplicated streams each block from one replica, sequentially or in
+// parallel.
+func (fs *FS) readReplicated(p *cluster.Proc, client *cluster.Node, f *File, mode ReadMode, res *ReadResult) error {
+	type job struct {
+		src    *cluster.Node
+		off    int
+		length int
+		data   []byte
+	}
+	jobs := make([]job, 0, len(f.stripes))
+	for i, st := range f.stripes {
+		b := st.blocks[0]
+		if len(b.locations) == 0 {
+			return fmt.Errorf("%w: %s stripe %d has no replicas", ErrUnavailable, f.name, i)
+		}
+		off := i * f.blockSize
+		length := f.blockSize
+		if off+length > f.size {
+			length = f.size - off
+		}
+		// Spread load across replicas round-robin.
+		src := fs.node(b.locations[i%len(b.locations)])
+		jobs = append(jobs, job{src: src, off: off, length: length, data: b.content})
+	}
+	if mode == ReadSequential {
+		res.Parallelism = 1
+		for _, j := range jobs {
+			cluster.ReadRemote(p, j.src, client, float64(f.blockSize))
+			copy(res.Data[j.off:j.off+j.length], j.data)
+			res.BytesFetched += int64(f.blockSize)
+		}
+		return nil
+	}
+	res.Parallelism = len(jobs)
+	sim := fs.cluster.Sim()
+	wg := sim.NewWaitGroup()
+	for _, j := range jobs {
+		wg.Add(1)
+		j := j
+		sim.Go("read-"+f.name, func(sp *cluster.Proc) {
+			defer wg.Done()
+			cluster.ReadRemote(sp, j.src, client, float64(f.blockSize))
+			copy(res.Data[j.off:j.off+j.length], j.data)
+		})
+		res.BytesFetched += int64(f.blockSize)
+	}
+	wg.Wait(p)
+	return nil
+}
+
+// readRS retrieves an RS-coded file: the k data blocks in parallel, or a
+// degraded read decoding from any k blocks when data blocks are lost.
+func (fs *FS) readRS(p *cluster.Proc, client *cluster.Node, f *File, s RS, res *ReadResult) error {
+	code := s.Code
+	res.Parallelism = code.K()
+	sim := fs.cluster.Sim()
+	wg := sim.NewWaitGroup()
+	var decodeWork int64
+	for si, st := range f.stripes {
+		// Pick k source blocks, preferring data blocks.
+		var sources []int
+		missingData := 0
+		for i := 0; i < code.K(); i++ {
+			if st.available(i) {
+				sources = append(sources, i)
+			} else {
+				missingData++
+			}
+		}
+		for i := code.K(); i < code.N() && len(sources) < code.K(); i++ {
+			if st.available(i) {
+				sources = append(sources, i)
+			}
+		}
+		if len(sources) < code.K() {
+			return fmt.Errorf("%w: %s stripe %d has %d of %d blocks", ErrUnavailable, f.name, si, len(sources), code.K())
+		}
+		si, st := si, st
+		for _, idx := range sources {
+			wg.Add(1)
+			idx := idx
+			src := fs.node(st.blocks[idx].locations[0])
+			sim.Go("read-rs", func(sp *cluster.Proc) {
+				defer wg.Done()
+				cluster.ReadRemote(sp, src, client, float64(f.blockSize))
+			})
+			res.BytesFetched += int64(f.blockSize)
+		}
+		// Assemble (and decode if degraded) once transfers finish; the
+		// decode time is charged after the join below.
+		if missingData == 0 {
+			for i := 0; i < code.K(); i++ {
+				fs.copyStripeData(f, si, i, st.blocks[i].content, res.Data)
+			}
+		} else {
+			avail := make([][]byte, code.N())
+			for _, idx := range sources {
+				avail[idx] = st.blocks[idx].content
+			}
+			shards, err := code.Decode(avail)
+			if err != nil {
+				return fmt.Errorf("dfs: degraded read of %s stripe %d: %w", f.name, si, err)
+			}
+			for i, shard := range shards {
+				fs.copyStripeData(f, si, i, shard, res.Data)
+			}
+			decodeWork += int64(missingData) * int64(f.blockSize)
+		}
+	}
+	wg.Wait(p)
+	res.DecodeBytes = decodeWork
+	if sec := fs.decodeSeconds(f.scheme, int(decodeWork)); sec > 0 {
+		client.Compute(p, 0, sec)
+	}
+	return nil
+}
+
+// readCarousel retrieves a Carousel-coded file with the Section VII
+// parallel read: original data from up to p sources, replacement blocks for
+// missing ones, any-k decode as the last resort.
+func (fs *FS) readCarousel(p *cluster.Proc, client *cluster.Node, f *File, s Carousel, res *ReadResult) error {
+	code := s.Code
+	sim := fs.cluster.Sim()
+	wg := sim.NewWaitGroup()
+	var decodeWork int64
+	for si, st := range f.stripes {
+		avail := make([]bool, code.N())
+		for i := range st.blocks {
+			avail[i] = st.available(i)
+		}
+		plan, err := code.PlanRead(avail, f.blockSize)
+		if err != nil {
+			return fmt.Errorf("%w: %s stripe %d: %v", ErrUnavailable, f.name, si, err)
+		}
+		if plan.Parallelism() > res.Parallelism {
+			res.Parallelism = plan.Parallelism()
+		}
+		// Launch one stream per source in the plan.
+		stream := func(blockIdx, bytes int) {
+			wg.Add(1)
+			src := fs.node(st.blocks[blockIdx].locations[0])
+			sim.Go("read-carousel", func(sp *cluster.Proc) {
+				defer wg.Done()
+				cluster.ReadRemote(sp, src, client, float64(bytes))
+			})
+			res.BytesFetched += int64(bytes)
+		}
+		switch {
+		case plan.FallbackBlocks != nil:
+			for _, idx := range plan.FallbackBlocks {
+				stream(idx, plan.BytesPerSource)
+			}
+			decodeWork += int64(code.K()) * int64(f.blockSize)
+		default:
+			for _, idx := range plan.Direct {
+				stream(idx, plan.BytesPerSource)
+			}
+			for _, repl := range plan.Replacements {
+				stream(repl, plan.BytesPerSource)
+			}
+			for b, bytes := range plan.Patch {
+				stream(b, bytes)
+			}
+			missingData := code.P() - len(plan.Direct)
+			decodeWork += int64(missingData) * int64(code.DataBytesPerBlock(0, f.blockSize))
+		}
+		// Reassemble with the real decoder on the in-memory blocks.
+		blocks := make([][]byte, code.N())
+		for i := range st.blocks {
+			if avail[i] {
+				blocks[i] = st.blocks[i].content
+			}
+		}
+		data, err := code.ParallelRead(blocks)
+		if err != nil {
+			return fmt.Errorf("dfs: carousel read of %s stripe %d: %w", f.name, si, err)
+		}
+		lo := si * f.dataPerStripe
+		hi := lo + f.dataPerStripe
+		if hi > f.size {
+			hi = f.size
+		}
+		copy(res.Data[lo:hi], data[:hi-lo])
+	}
+	wg.Wait(p)
+	res.DecodeBytes = decodeWork
+	if sec := fs.decodeSeconds(f.scheme, int(decodeWork)); sec > 0 {
+		client.Compute(p, 0, sec)
+	}
+	return nil
+}
+
+// copyStripeData copies shard i of stripe si into the output at its file
+// offset, clipping at the file size.
+func (fs *FS) copyStripeData(f *File, si, shard int, data []byte, out []byte) {
+	lo := si*f.dataPerStripe + shard*f.blockSize
+	if lo >= f.size {
+		return
+	}
+	hi := lo + f.blockSize
+	if hi > f.size {
+		hi = f.size
+	}
+	copy(out[lo:hi], data[:hi-lo])
+}

@@ -1,0 +1,220 @@
+package dfs
+
+import (
+	"fmt"
+
+	"carousel/internal/cluster"
+)
+
+// RepairResult reports a completed block reconstruction.
+type RepairResult struct {
+	// TrafficBytes is the total network transfer the repair consumed —
+	// the quantity of Fig. 7.
+	TrafficBytes int64
+	// Helpers is the number of source blocks contacted.
+	Helpers int
+	// NewcomerID is the datanode now holding the regenerated block.
+	NewcomerID int
+}
+
+// Reconstruct regenerates block blockIdx of the given stripe onto the
+// newcomer node, using the scheme's repair path: a replica copy for
+// replication, a k-block decode for RS, and the optimal d-helper chunk
+// protocol for Carousel. It must be called from within a simulation
+// process.
+func (fs *FS) Reconstruct(p *cluster.Proc, name string, stripeIdx, blockIdx int, newcomer *cluster.Node) (*RepairResult, error) {
+	f, err := fs.File(name)
+	if err != nil {
+		return nil, err
+	}
+	if stripeIdx < 0 || stripeIdx >= len(f.stripes) {
+		return nil, fmt.Errorf("dfs: stripe %d out of range", stripeIdx)
+	}
+	st := f.stripes[stripeIdx]
+	if blockIdx < 0 || blockIdx >= len(st.blocks) {
+		return nil, fmt.Errorf("dfs: block %d out of range", blockIdx)
+	}
+	res := &RepairResult{NewcomerID: newcomer.ID}
+	switch s := f.scheme.(type) {
+	case Replication:
+		b := st.blocks[blockIdx]
+		if len(b.locations) == 0 {
+			return nil, fmt.Errorf("%w: no surviving replica", ErrUnavailable)
+		}
+		src := fs.node(b.locations[0])
+		cluster.ReadRemote(p, src, newcomer, float64(f.blockSize))
+		newcomer.WriteLocal(p, float64(f.blockSize))
+		res.TrafficBytes = int64(f.blockSize)
+		res.Helpers = 1
+		b.locations = append(b.locations, newcomer.ID)
+		return res, nil
+
+	case RS:
+		code := s.Code
+		var helpers []int
+		for i := 0; i < code.N() && len(helpers) < code.K(); i++ {
+			if i != blockIdx && st.available(i) {
+				helpers = append(helpers, i)
+			}
+		}
+		if len(helpers) < code.K() {
+			return nil, fmt.Errorf("%w: %d helpers of %d", ErrUnavailable, len(helpers), code.K())
+		}
+		fs.parallelFetch(p, f, st, helpers, newcomer, f.blockSize)
+		avail := make([][]byte, code.N())
+		for _, h := range helpers {
+			avail[h] = st.blocks[h].content
+		}
+		work := make([][]byte, code.N())
+		copy(work, avail)
+		if err := code.Reconstruct(work); err != nil {
+			return nil, fmt.Errorf("dfs: RS reconstruction: %w", err)
+		}
+		if sec := fs.decodeSeconds(f.scheme, f.blockSize); sec > 0 {
+			newcomer.Compute(p, 0, sec)
+		}
+		newcomer.WriteLocal(p, float64(f.blockSize))
+		st.blocks[blockIdx].content = work[blockIdx]
+		st.blocks[blockIdx].crc = checksum(work[blockIdx])
+		st.blocks[blockIdx].locations = []int{newcomer.ID}
+		res.TrafficBytes = int64(len(helpers)) * int64(f.blockSize)
+		res.Helpers = len(helpers)
+
+	case Carousel:
+		code := s.Code
+		var helpers []int
+		for i := 0; i < code.N() && len(helpers) < code.D(); i++ {
+			if i != blockIdx && st.available(i) {
+				helpers = append(helpers, i)
+			}
+		}
+		if len(helpers) < code.D() {
+			return nil, fmt.Errorf("%w: %d helpers of %d", ErrUnavailable, len(helpers), code.D())
+		}
+		chunkSize := code.HelperChunkSize(f.blockSize)
+		// Helper side: each helper reads its block locally, computes its
+		// chunk (free for the RS base, a small GF combination for MSR),
+		// and uploads chunkSize bytes. All helpers work concurrently.
+		sim := fs.cluster.Sim()
+		wg := sim.NewWaitGroup()
+		chunks := make([][]byte, len(helpers))
+		for i, h := range helpers {
+			wg.Add(1)
+			i, h := i, h
+			src := fs.node(st.blocks[h].locations[0])
+			sim.Go("repair-helper", func(sp *cluster.Proc) {
+				defer wg.Done()
+				src.ReadLocal(sp, float64(f.blockSize))
+				if sec := fs.decodeSeconds(f.scheme, chunkSize); sec > 0 && code.D() > code.K() {
+					src.Compute(sp, 0, sec)
+				}
+				ch, err := code.HelperChunk(h, blockIdx, st.blocks[h].content)
+				if err != nil {
+					panic(fmt.Sprintf("dfs: helper chunk: %v", err))
+				}
+				chunks[i] = ch
+				cluster.SendRemote(sp, src, newcomer, float64(chunkSize))
+			})
+		}
+		wg.Wait(p)
+		block, err := code.RepairBlock(blockIdx, helpers, chunks)
+		if err != nil {
+			return nil, fmt.Errorf("dfs: carousel repair: %w", err)
+		}
+		if sec := fs.decodeSeconds(f.scheme, f.blockSize); sec > 0 {
+			newcomer.Compute(p, 0, sec)
+		}
+		newcomer.WriteLocal(p, float64(f.blockSize))
+		st.blocks[blockIdx].content = block
+		st.blocks[blockIdx].crc = checksum(block)
+		st.blocks[blockIdx].locations = []int{newcomer.ID}
+		res.TrafficBytes = int64(len(helpers)) * int64(chunkSize)
+		res.Helpers = len(helpers)
+
+	default:
+		return nil, fmt.Errorf("dfs: unknown scheme %T", f.scheme)
+	}
+	fs.stats.BytesRepair += res.TrafficBytes
+	return res, nil
+}
+
+// RecoverNode regenerates every block that lost its last replica when the
+// given node failed, spreading the regenerated blocks across the surviving
+// datanodes (round-robin, skipping nodes already holding a block of the
+// same stripe). Call FailNode first; RecoverNode then walks all files. It
+// returns the aggregate result.
+func (fs *FS) RecoverNode(p *cluster.Proc, failedID int) (*RepairResult, error) {
+	agg := &RepairResult{NewcomerID: -1}
+	cursor := 0
+	for _, name := range fs.fileNames() {
+		f := fs.files[name]
+		for si, st := range f.stripes {
+			for bi, b := range st.blocks {
+				if len(b.locations) > 0 {
+					continue
+				}
+				newcomer, err := fs.pickNewcomer(st, failedID, &cursor)
+				if err != nil {
+					return nil, err
+				}
+				res, err := fs.Reconstruct(p, name, si, bi, newcomer)
+				if err != nil {
+					return nil, fmt.Errorf("dfs: recovering %s stripe %d block %d: %w", name, si, bi, err)
+				}
+				agg.TrafficBytes += res.TrafficBytes
+				agg.Helpers += res.Helpers
+			}
+		}
+	}
+	return agg, nil
+}
+
+// fileNames returns file names in a deterministic order.
+func (fs *FS) fileNames() []string {
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	// Insertion-order independence: sort lexicographically.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// pickNewcomer selects a surviving datanode not already hosting a block of
+// the stripe.
+func (fs *FS) pickNewcomer(st *stripe, failedID int, cursor *int) (*cluster.Node, error) {
+	hosts := make(map[int]bool)
+	for _, b := range st.blocks {
+		for _, l := range b.locations {
+			hosts[l] = true
+		}
+	}
+	for tries := 0; tries < len(fs.datanodes); tries++ {
+		n := fs.datanodes[*cursor%len(fs.datanodes)]
+		*cursor++
+		if n.ID != failedID && !hosts[n.ID] {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no eligible newcomer node", ErrUnavailable)
+}
+
+// parallelFetch moves whole blocks from the given indices to dst
+// concurrently.
+func (fs *FS) parallelFetch(p *cluster.Proc, f *File, st *stripe, idx []int, dst *cluster.Node, bytes int) {
+	sim := fs.cluster.Sim()
+	wg := sim.NewWaitGroup()
+	for _, i := range idx {
+		wg.Add(1)
+		src := fs.node(st.blocks[i].locations[0])
+		sim.Go("fetch", func(sp *cluster.Proc) {
+			defer wg.Done()
+			cluster.ReadRemote(sp, src, dst, float64(bytes))
+		})
+	}
+	wg.Wait(p)
+}

@@ -1,0 +1,78 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+
+	"carousel/internal/cluster"
+)
+
+func TestScrubDetectsAndQuarantinesCorruption(t *testing.T) {
+	code := mustCarousel(t, 12, 6, 10, 12)
+	blockSize := code.BlockAlign() * code.Alpha() * 4
+	rig := newRig(t, 13, cluster.NodeSpec{DiskReadBW: 100 * mbps})
+	data := randBytes(6*blockSize, 61)
+	if _, err := rig.fs.Write("f", data, blockSize, Carousel{Code: code}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.fs.CorruptBlock("f", 0, 7, 3); err != nil {
+		t.Fatal(err)
+	}
+	var rep *ScrubReport
+	rig.sim.Go("scrub", func(p *cluster.Proc) {
+		var err error
+		rep, err = rig.fs.Scrub(p)
+		if err != nil {
+			t.Errorf("scrub: %v", err)
+		}
+	})
+	rig.sim.Run()
+	if rep.BlocksChecked != 12 {
+		t.Fatalf("checked %d blocks, want 12", rep.BlocksChecked)
+	}
+	if len(rep.Corrupted) != 1 || rep.Corrupted[0].Block != 7 {
+		t.Fatalf("corrupted = %+v, want block 7", rep.Corrupted)
+	}
+	// The quarantined block must be regenerable, after which a second
+	// scrub is clean and reads are exact.
+	rig.sim.Go("repair-and-verify", func(p *cluster.Proc) {
+		if _, err := rig.fs.Reconstruct(p, "f", 0, 7, rig.fs.Datanodes()[12]); err != nil {
+			t.Errorf("reconstruct: %v", err)
+			return
+		}
+		rep2, err := rig.fs.Scrub(p)
+		if err != nil {
+			t.Errorf("second scrub: %v", err)
+			return
+		}
+		if len(rep2.Corrupted) != 0 {
+			t.Errorf("second scrub found %+v", rep2.Corrupted)
+		}
+		res, err := rig.fs.Read(p, rig.client, "f", ReadParallel)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if !bytes.Equal(res.Data, data) {
+			t.Error("data mismatch after scrub + repair")
+		}
+	})
+	rig.sim.Run()
+}
+
+func TestCorruptBlockValidation(t *testing.T) {
+	rig := newRig(t, 4, cluster.NodeSpec{})
+	if _, err := rig.fs.Write("f", randBytes(100, 62), 100, Replication{Copies: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct{ s, b, off int }{
+		{5, 0, 0}, {0, 3, 0}, {0, 0, 1000}, {0, 0, -1},
+	} {
+		if err := rig.fs.CorruptBlock("f", tt.s, tt.b, tt.off); err == nil {
+			t.Errorf("CorruptBlock(%d,%d,%d) did not error", tt.s, tt.b, tt.off)
+		}
+	}
+	if err := rig.fs.CorruptBlock("missing", 0, 0, 0); err == nil {
+		t.Error("missing file did not error")
+	}
+}

@@ -1,0 +1,368 @@
+// Package lrc implements Azure-style Locally Repairable Codes, the other
+// repair-oriented erasure-code family the paper's related-work section
+// contrasts Carousel codes with (Huang et al., "Erasure Coding in Windows
+// Azure Storage").
+//
+// An LRC(k, l, g) code stores k data blocks in l local groups (l must
+// divide k), adds one local parity per group and g global parities:
+// n = k + l + g blocks in total. A single lost data block is repaired from
+// the k/l surviving blocks of its group — cheap, local repair — at the
+// price of giving up the MDS property: unlike an (n, k) MDS code, not
+// every n-k-block loss is decodable. Decode gathers all surviving
+// equations and solves; IsDecodable reports whether a failure pattern is
+// recoverable.
+//
+// The package exists as a baseline: the benchmarks contrast its repair
+// locality and failure coverage against RS, MSR, and Carousel codes of the
+// same storage overhead.
+package lrc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"carousel/internal/gf256"
+	"carousel/internal/matrix"
+)
+
+// Common argument errors.
+var (
+	// ErrUndecodable is returned when the surviving blocks cannot
+	// reconstruct the requested data.
+	ErrUndecodable = errors.New("lrc: failure pattern is not decodable")
+
+	// ErrBlockCount is returned when the number of provided blocks does
+	// not match the code parameters.
+	ErrBlockCount = errors.New("lrc: wrong number of blocks")
+
+	// ErrBlockSizeMismatch is returned when blocks have different sizes.
+	ErrBlockSizeMismatch = errors.New("lrc: blocks have different sizes")
+)
+
+// Code is an LRC(k, l, g) code. Block layout: indices [0, k) are data
+// blocks (group j holds indices [j*k/l, (j+1)*k/l)), [k, k+l) are the
+// local parities (one per group), and [k+l, k+l+g) are the global
+// parities.
+type Code struct {
+	k, l, g   int
+	groupSize int
+	gen       *matrix.Matrix // (k+l+g) x k
+
+	mu       sync.Mutex
+	decCache map[string]*matrix.Matrix
+}
+
+// New constructs an LRC(k, l, g) code. l must divide k; g >= 1.
+func New(k, l, g int) (*Code, error) {
+	if k <= 0 || l <= 0 || g <= 0 {
+		return nil, fmt.Errorf("lrc: parameters must be positive, got k=%d l=%d g=%d", k, l, g)
+	}
+	if k%l != 0 {
+		return nil, fmt.Errorf("lrc: l=%d must divide k=%d", l, k)
+	}
+	if k+l+g > 256 {
+		return nil, fmt.Errorf("lrc: n=%d exceeds GF(256) capacity", k+l+g)
+	}
+	c := &Code{k: k, l: l, g: g, groupSize: k / l, decCache: make(map[string]*matrix.Matrix)}
+	n := k + l + g
+	gen := matrix.New(n, k)
+	for i := 0; i < k; i++ {
+		gen.Set(i, i, 1)
+	}
+	// Local parities: XOR of the group's data blocks. XOR keeps group
+	// repair at its cheapest while the global Cauchy rows provide the
+	// cross-group diversity.
+	for j := 0; j < l; j++ {
+		row := gen.Row(k + j)
+		for m := 0; m < c.groupSize; m++ {
+			row[j*c.groupSize+m] = 1
+		}
+	}
+	// Global parities: Cauchy rows 1/(x_i + y_c) with x and y disjoint.
+	for i := 0; i < g; i++ {
+		row := gen.Row(k + l + i)
+		for col := 0; col < k; col++ {
+			row[col] = gf256.Inv(byte(i) ^ byte(g+col))
+		}
+	}
+	c.gen = gen
+	return c, nil
+}
+
+// N returns the total number of blocks (k + l + g).
+func (c *Code) N() int { return c.k + c.l + c.g }
+
+// K returns the number of data blocks.
+func (c *Code) K() int { return c.k }
+
+// L returns the number of local groups.
+func (c *Code) L() int { return c.l }
+
+// G returns the number of global parities.
+func (c *Code) G() int { return c.g }
+
+// GroupSize returns the number of data blocks per local group.
+func (c *Code) GroupSize() int { return c.groupSize }
+
+// Group returns the local group of a data or local-parity block, or -1 for
+// global parities.
+func (c *Code) Group(idx int) int {
+	switch {
+	case idx < 0 || idx >= c.N():
+		return -1
+	case idx < c.k:
+		return idx / c.groupSize
+	case idx < c.k+c.l:
+		return idx - c.k
+	default:
+		return -1
+	}
+}
+
+// StorageOverhead returns n/k.
+func (c *Code) StorageOverhead() float64 { return float64(c.N()) / float64(c.k) }
+
+// Encode encodes k equally sized data blocks into n blocks.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: got %d data blocks, want %d", ErrBlockCount, len(data), c.k)
+	}
+	size := -1
+	for i, b := range data {
+		if b == nil {
+			return nil, fmt.Errorf("%w: data block %d is nil", ErrBlockCount, i)
+		}
+		if size == -1 {
+			size = len(b)
+		} else if len(b) != size {
+			return nil, fmt.Errorf("%w: block %d has %d bytes, want %d", ErrBlockSizeMismatch, i, len(b), size)
+		}
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("%w: empty blocks", ErrBlockSizeMismatch)
+	}
+	out := make([][]byte, c.N())
+	for i := range out {
+		out[i] = make([]byte, size)
+	}
+	c.gen.ApplyToUnits(data, out)
+	return out, nil
+}
+
+// IsDecodable reports whether the original data is recoverable from the
+// given availability pattern (length n).
+func (c *Code) IsDecodable(available []bool) bool {
+	if len(available) != c.N() {
+		return false
+	}
+	tracker := matrix.NewRankTracker(c.k)
+	rank := 0
+	for i, ok := range available {
+		if !ok {
+			continue
+		}
+		if tracker.Add(c.gen.Row(i)) {
+			rank++
+			if rank == c.k {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Decode recovers the k data blocks from the available blocks (nil entries
+// mark unavailable ones). It returns ErrUndecodable when the pattern is
+// unrecoverable.
+func (c *Code) Decode(blocks [][]byte) ([][]byte, error) {
+	if len(blocks) != c.N() {
+		return nil, fmt.Errorf("%w: got %d blocks, want %d", ErrBlockCount, len(blocks), c.N())
+	}
+	size := -1
+	for i, b := range blocks {
+		if b == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(b)
+		} else if len(b) != size {
+			return nil, fmt.Errorf("%w: block %d has %d bytes, want %d", ErrBlockSizeMismatch, i, len(b), size)
+		}
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("%w: no blocks present", ErrUndecodable)
+	}
+	// Fast path: all data blocks present.
+	allData := true
+	for i := 0; i < c.k; i++ {
+		if blocks[i] == nil {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		return blocks[:c.k:c.k], nil
+	}
+	// Pick k independent surviving rows.
+	available := make([]bool, c.N())
+	for i, b := range blocks {
+		available[i] = b != nil
+	}
+	rows, err := c.independentRows(available)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := c.decodeMatrix(rows)
+	if err != nil {
+		return nil, err
+	}
+	in := make([][]byte, len(rows))
+	for i, r := range rows {
+		in[i] = blocks[r]
+	}
+	out := make([][]byte, c.k)
+	for i := range out {
+		out[i] = make([]byte, size)
+	}
+	inv.ApplyToUnits(in, out)
+	return out, nil
+}
+
+// independentRows selects k available block indices whose generator rows
+// are independent.
+func (c *Code) independentRows(available []bool) ([]int, error) {
+	tracker := matrix.NewRankTracker(c.k)
+	rows := make([]int, 0, c.k)
+	for i, ok := range available {
+		if !ok {
+			continue
+		}
+		if tracker.Add(c.gen.Row(i)) {
+			rows = append(rows, i)
+			if len(rows) == c.k {
+				return rows, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: surviving rank %d of %d", ErrUndecodable, len(rows), c.k)
+}
+
+func (c *Code) decodeMatrix(rows []int) (*matrix.Matrix, error) {
+	key := make([]byte, len(rows))
+	for i, r := range rows {
+		key[i] = byte(r)
+	}
+	c.mu.Lock()
+	if inv, ok := c.decCache[string(key)]; ok {
+		c.mu.Unlock()
+		return inv, nil
+	}
+	c.mu.Unlock()
+	inv, err := c.gen.SelectRows(rows).Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("lrc: decode matrix for rows %v: %w", rows, err)
+	}
+	c.mu.Lock()
+	c.decCache[string(key)] = inv
+	c.mu.Unlock()
+	return inv, nil
+}
+
+// RepairPlan describes how a single lost block is regenerated.
+type RepairPlan struct {
+	// Sources lists the blocks read.
+	Sources []int
+	// Local reports whether the repair stayed within one group.
+	Local bool
+}
+
+// PlanRepair returns the cheapest repair for a single lost block given the
+// availability of the others: a group-local XOR when the group is intact,
+// a global decode otherwise.
+func (c *Code) PlanRepair(failed int, available []bool) (*RepairPlan, error) {
+	if failed < 0 || failed >= c.N() {
+		return nil, fmt.Errorf("lrc: failed block %d out of range [0,%d)", failed, c.N())
+	}
+	if len(available) != c.N() {
+		return nil, fmt.Errorf("%w: availability vector has %d entries, want %d", ErrBlockCount, len(available), c.N())
+	}
+	if grp := c.Group(failed); grp >= 0 {
+		sources := make([]int, 0, c.groupSize)
+		ok := true
+		for m := 0; m < c.groupSize; m++ {
+			idx := grp*c.groupSize + m
+			if idx == failed {
+				continue
+			}
+			if !available[idx] {
+				ok = false
+				break
+			}
+			sources = append(sources, idx)
+		}
+		lp := c.k + grp
+		if failed != lp {
+			if available[lp] {
+				sources = append(sources, lp)
+			} else {
+				ok = false
+			}
+		}
+		if ok {
+			return &RepairPlan{Sources: sources, Local: true}, nil
+		}
+	}
+	// Global repair: any k independent survivors.
+	surv := make([]bool, c.N())
+	copy(surv, available)
+	surv[failed] = false
+	rows, err := c.independentRows(surv)
+	if err != nil {
+		return nil, err
+	}
+	return &RepairPlan{Sources: rows, Local: false}, nil
+}
+
+// Repair regenerates the failed block from the available blocks using the
+// cheapest plan.
+func (c *Code) Repair(failed int, blocks [][]byte) ([]byte, error) {
+	if len(blocks) != c.N() {
+		return nil, fmt.Errorf("%w: got %d blocks, want %d", ErrBlockCount, len(blocks), c.N())
+	}
+	available := make([]bool, c.N())
+	for i, b := range blocks {
+		available[i] = b != nil
+	}
+	plan, err := c.PlanRepair(failed, available)
+	if err != nil {
+		return nil, err
+	}
+	size := len(blocks[plan.Sources[0]])
+	if plan.Local {
+		// Group members and local parity XOR to zero, so the failed block
+		// is the XOR of the sources.
+		out := make([]byte, size)
+		for _, s := range plan.Sources {
+			gf256.AddSlice(blocks[s], out)
+		}
+		return out, nil
+	}
+	data, err := c.Decode(blocks)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	matrix.ApplyRowToUnits(c.gen.Row(failed), data, out)
+	return out, nil
+}
+
+// ReconstructionTraffic returns the bytes read to repair the given block
+// with all other blocks available: group locality for data and local
+// parities, k blocks for a global parity.
+func (c *Code) ReconstructionTraffic(failed, blockSize int) int {
+	if c.Group(failed) >= 0 {
+		return c.groupSize * blockSize
+	}
+	return c.k * blockSize
+}

@@ -1,0 +1,90 @@
+package mapreduce
+
+import (
+	"bytes"
+	"strconv"
+)
+
+// WordCountJob returns the paper's wordcount benchmark: map-heavy, tiny
+// intermediate output (word counts are pre-aggregated per split with a
+// combiner, as Hadoop's example does).
+func WordCountJob(file string, reducers int) Job {
+	return Job{
+		Name:     "wordcount",
+		File:     file,
+		Reducers: reducers,
+		Mapper: func(data []byte, emit func(k, v string)) {
+			counts := make(map[string]int)
+			for _, line := range bytes.Split(data, []byte{'\n'}) {
+				for _, w := range bytes.Fields(line) {
+					counts[string(w)]++
+				}
+			}
+			for w, c := range counts {
+				emit(w, strconv.Itoa(c))
+			}
+		},
+		Reducer: func(key string, values []string, emit func(k, v string)) {
+			total := 0
+			for _, v := range values {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					continue
+				}
+				total += n
+			}
+			emit(key, strconv.Itoa(total))
+		},
+	}
+}
+
+// GrepJob returns a selective scan: map emits only lines containing the
+// pattern (tiny intermediate output, IO-bound map); the reducer passes
+// matches through in sorted order. Hadoop's grep example is the third
+// canonical benchmark alongside wordcount and terasort.
+func GrepJob(file, pattern string, reducers int) Job {
+	return Job{
+		Name:     "grep",
+		File:     file,
+		Reducers: reducers,
+		Mapper: func(data []byte, emit func(k, v string)) {
+			for _, line := range bytes.Split(data, []byte{'\n'}) {
+				if len(line) > 0 && bytes.Contains(line, []byte(pattern)) {
+					emit(string(line), "1")
+				}
+			}
+		},
+		Reducer: func(key string, values []string, emit func(k, v string)) {
+			emit(key, strconv.Itoa(len(values)))
+		},
+	}
+}
+
+// TerasortJob returns the paper's terasort benchmark: the map is an
+// identity over records, the whole input is shuffled, and reducers emit
+// records in sorted key order (the framework's sorted-key grouping does the
+// sort).
+func TerasortJob(file string, reducers int) Job {
+	return Job{
+		Name:     "terasort",
+		File:     file,
+		Reducers: reducers,
+		Mapper: func(data []byte, emit func(k, v string)) {
+			for _, line := range bytes.Split(data, []byte{'\n'}) {
+				if len(line) == 0 {
+					continue
+				}
+				if tab := bytes.IndexByte(line, '\t'); tab >= 0 {
+					emit(string(line[:tab]), string(line[tab+1:]))
+				} else {
+					emit(string(line), "")
+				}
+			}
+		},
+		Reducer: func(key string, values []string, emit func(k, v string)) {
+			for _, v := range values {
+				emit(key, v)
+			}
+		},
+	}
+}

@@ -1,0 +1,401 @@
+// Package mapreduce implements a MapReduce engine over the simulated
+// distributed file system: data-local split scheduling, a map phase, an
+// all-to-all shuffle, and a reduce phase, with per-phase timing on the
+// simulated clock.
+//
+// The engine runs real task logic — word counting and sorting operate on
+// actual bytes, and job output is byte-identical regardless of the storage
+// scheme — while IO and CPU costs are charged to the simulation. This is
+// how the repository reproduces Fig. 9 and Fig. 10: the number of map
+// tasks equals the number of data-local splits, which is k for systematic
+// RS, p for a Carousel code, and copies*blocks for replication.
+package mapreduce
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"carousel/internal/cluster"
+	"carousel/internal/dfs"
+)
+
+// Mapper consumes one split (whole records) and emits key/value pairs.
+type Mapper func(data []byte, emit func(key, value string))
+
+// Reducer consumes one key with all its values (in arrival order) and
+// emits output pairs.
+type Reducer func(key string, values []string, emit func(key, value string))
+
+// KV is an output record.
+type KV struct {
+	Key, Value string
+}
+
+// CostSpec calibrates simulated task costs. All bandwidths live on the
+// cluster nodes (NodeSpec.ComputeBW is the map/reduce processing rate in
+// bytes/second); the spec holds per-task constants and CPU multipliers.
+type CostSpec struct {
+	// TaskOverhead is the fixed startup cost of every task in seconds
+	// (JVM launch, task setup). Hadoop tasks pay a few seconds each.
+	TaskOverhead float64
+	// MapCPUFactor scales map CPU work: work bytes = factor * input
+	// bytes.
+	MapCPUFactor float64
+	// ReduceCPUFactor scales reduce CPU work: work bytes = factor *
+	// shuffled bytes.
+	ReduceCPUFactor float64
+}
+
+// DefaultCostSpec mirrors small-Hadoop behaviour: a 2-second task startup
+// and CPU work equal to the bytes touched.
+func DefaultCostSpec() CostSpec {
+	return CostSpec{TaskOverhead: 2, MapCPUFactor: 1, ReduceCPUFactor: 1}
+}
+
+// Job describes one MapReduce job.
+type Job struct {
+	// Name labels the job in results.
+	Name string
+	// File is the dfs file holding the input.
+	File string
+	// Mapper and Reducer implement the computation.
+	Mapper  Mapper
+	Reducer Reducer
+	// Reducers is the number of reduce tasks (default 1).
+	Reducers int
+}
+
+// Result reports a completed job.
+type Result struct {
+	// MapTasks and ReduceTasks count scheduled tasks.
+	MapTasks, ReduceTasks int
+	// AvgMapSeconds and AvgReduceSeconds are mean task durations — the
+	// "map" and "reduce" bars of Fig. 9.
+	AvgMapSeconds, AvgReduceSeconds float64
+	// MapPhaseSeconds is the map-phase makespan.
+	MapPhaseSeconds float64
+	// JobSeconds is the full job makespan — the "job" bar of Fig. 9 and
+	// the metric of Fig. 10.
+	JobSeconds float64
+	// ShuffleBytes is the total intermediate data moved.
+	ShuffleBytes int64
+	// Output holds the job output sorted by key.
+	Output []KV
+	// LocalTasks counts map tasks that ran on a node holding their split.
+	LocalTasks int
+}
+
+// Engine executes jobs on a cluster + file system.
+type Engine struct {
+	fs      *dfs.FS
+	cluster *cluster.Cluster
+	workers []*cluster.Node
+	spec    CostSpec
+}
+
+// NewEngine returns an engine running tasks on the given worker nodes.
+func NewEngine(c *cluster.Cluster, fs *dfs.FS, workers []*cluster.Node, spec CostSpec) *Engine {
+	return &Engine{fs: fs, cluster: c, workers: workers, spec: spec}
+}
+
+// Run executes the job to completion inside the simulation and returns its
+// result. It must be called from outside the simulation; Run drives the
+// simulation itself.
+func (e *Engine) Run(job Job) (*Result, error) {
+	var res *Result
+	var err error
+	e.cluster.Sim().Go("job-"+job.Name, func(p *cluster.Proc) {
+		res, err = e.RunFrom(p, job)
+	})
+	e.cluster.Sim().Run()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunFrom executes the job from within an existing simulation process.
+func (e *Engine) RunFrom(p *cluster.Proc, job Job) (*Result, error) {
+	if job.Mapper == nil || job.Reducer == nil {
+		return nil, errors.New("mapreduce: job needs both a mapper and a reducer")
+	}
+	reducers := job.Reducers
+	if reducers <= 0 {
+		reducers = 1
+	}
+	splits, err := e.fs.Splits(job.File)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: %w", err)
+	}
+	if len(splits) == 0 {
+		return nil, fmt.Errorf("mapreduce: file %q has no available splits", job.File)
+	}
+	assign := e.schedule(splits)
+	sim := e.cluster.Sim()
+	start := p.Now()
+
+	res := &Result{MapTasks: len(splits), ReduceTasks: reducers}
+
+	// Map phase: one task per split, scheduled data-locally.
+	type mapOut struct {
+		node  *cluster.Node
+		parts [][]KV // per-reducer partitions
+		bytes []int64
+	}
+	outs := make([]*mapOut, len(splits))
+	mapDur := make([]float64, len(splits))
+	wg := sim.NewWaitGroup()
+	for i := range splits {
+		wg.Add(1)
+		i := i
+		split := splits[i]
+		node := assign[i]
+		local := false
+		for _, id := range split.Nodes {
+			if id == node.ID {
+				local = true
+				break
+			}
+		}
+		if local {
+			res.LocalTasks++
+		}
+		sim.Go(fmt.Sprintf("map-%s-%d", job.Name, i), func(tp *cluster.Proc) {
+			defer wg.Done()
+			node.Slots.Acquire(tp)
+			defer node.Slots.Release()
+			t0 := tp.Now()
+			tp.Sleep(e.spec.TaskOverhead)
+			// Input IO: local disk when the split is hosted here, a remote
+			// read otherwise, and a reconstruction (fetch from several
+			// blocks plus decode CPU) when the hosting block is gone.
+			switch {
+			case split.Degraded:
+				cost, cerr := e.fs.DegradedSplitCost(split)
+				if cerr != nil {
+					panic(fmt.Sprintf("mapreduce: degraded split: %v", cerr))
+				}
+				e.fetchDegraded(tp, node, split, cost)
+				tp.Sleep(node.ComputeDuration(float64(cost.DecodeBytes)))
+			case local:
+				node.ReadLocal(tp, float64(split.Length))
+			default:
+				src := e.cluster.Node(split.Nodes[0])
+				cluster.ReadRemote(tp, src, node, float64(split.Length))
+			}
+			data, rerr := e.recordData(split)
+			if rerr != nil {
+				panic(fmt.Sprintf("mapreduce: reading split: %v", rerr))
+			}
+			mo := &mapOut{node: node, parts: make([][]KV, reducers), bytes: make([]int64, reducers)}
+			job.Mapper(data, func(k, v string) {
+				r := partition(k, reducers)
+				mo.parts[r] = append(mo.parts[r], KV{k, v})
+				mo.bytes[r] += int64(len(k) + len(v) + 2)
+			})
+			outs[i] = mo
+			// CPU work proportional to input, then spill the intermediate
+			// output to local disk.
+			var emitted int64
+			for _, b := range mo.bytes {
+				emitted += b
+			}
+			tp.Sleep(node.ComputeDuration(float64(split.Length) * e.spec.MapCPUFactor))
+			node.WriteLocal(tp, float64(emitted))
+			mapDur[i] = tp.Now() - t0
+		})
+	}
+	wg.Wait(p)
+	res.MapPhaseSeconds = p.Now() - start
+
+	// Reduce phase: shuffle from every map node, merge, reduce, write.
+	redDur := make([]float64, reducers)
+	outputs := make([][]KV, reducers)
+	rwg := sim.NewWaitGroup()
+	for r := 0; r < reducers; r++ {
+		rwg.Add(1)
+		r := r
+		node := e.workers[r%len(e.workers)]
+		sim.Go(fmt.Sprintf("reduce-%s-%d", job.Name, r), func(tp *cluster.Proc) {
+			defer rwg.Done()
+			node.Slots.Acquire(tp)
+			defer node.Slots.Release()
+			t0 := tp.Now()
+			tp.Sleep(e.spec.TaskOverhead)
+			// Shuffle: fetch this reducer's partition from every mapper in
+			// parallel.
+			var shuffled int64
+			swg := sim.NewWaitGroup()
+			for _, mo := range outs {
+				b := mo.bytes[r]
+				shuffled += b
+				if b == 0 || mo.node == node {
+					continue
+				}
+				swg.Add(1)
+				src := mo.node
+				bb := b
+				sim.Go("shuffle", func(fp *cluster.Proc) {
+					defer swg.Done()
+					cluster.ReadRemote(fp, src, node, float64(bb))
+				})
+			}
+			swg.Wait(tp)
+			// Merge: group values by key in sorted key order.
+			groups := make(map[string][]string)
+			var keys []string
+			for _, mo := range outs {
+				for _, kv := range mo.parts[r] {
+					if _, ok := groups[kv.Key]; !ok {
+						keys = append(keys, kv.Key)
+					}
+					groups[kv.Key] = append(groups[kv.Key], kv.Value)
+				}
+			}
+			sort.Strings(keys)
+			var out []KV
+			var outBytes int64
+			for _, k := range keys {
+				job.Reducer(k, groups[k], func(ok, ov string) {
+					out = append(out, KV{ok, ov})
+					outBytes += int64(len(ok) + len(ov) + 2)
+				})
+			}
+			outputs[r] = out
+			tp.Sleep(node.ComputeDuration(float64(shuffled) * e.spec.ReduceCPUFactor))
+			node.WriteLocal(tp, float64(outBytes))
+			redDur[r] = tp.Now() - t0
+		})
+		for _, mo := range outs {
+			res.ShuffleBytes += mo.bytes[r]
+		}
+	}
+	rwg.Wait(p)
+	res.JobSeconds = p.Now() - start
+	res.AvgMapSeconds = mean(mapDur)
+	res.AvgReduceSeconds = mean(redDur)
+	for _, o := range outputs {
+		res.Output = append(res.Output, o...)
+	}
+	sort.Slice(res.Output, func(i, j int) bool {
+		if res.Output[i].Key != res.Output[j].Key {
+			return res.Output[i].Key < res.Output[j].Key
+		}
+		return res.Output[i].Value < res.Output[j].Value
+	})
+	return res, nil
+}
+
+// fetchDegraded pulls a degraded split's source ranges concurrently.
+func (e *Engine) fetchDegraded(tp *cluster.Proc, node *cluster.Node, split dfs.Split, cost *dfs.DegradedCost) {
+	sim := e.cluster.Sim()
+	wg := sim.NewWaitGroup()
+	for blockIdx, bytes := range cost.Sources {
+		wg.Add(1)
+		src := e.cluster.Node(e.fs.BlockLocation(split.File, split.Stripe, blockIdx))
+		bb := bytes
+		sim.Go("degraded-fetch", func(fp *cluster.Proc) {
+			defer wg.Done()
+			cluster.ReadRemote(fp, src, node, float64(bb))
+		})
+	}
+	wg.Wait(tp)
+}
+
+// schedule assigns each split to a worker, preferring split-local nodes and
+// balancing task counts (Hadoop's locality-first scheduling).
+func (e *Engine) schedule(splits []dfs.Split) []*cluster.Node {
+	load := make(map[int]int, len(e.workers))
+	byID := make(map[int]*cluster.Node, len(e.workers))
+	for _, w := range e.workers {
+		byID[w.ID] = w
+	}
+	out := make([]*cluster.Node, len(splits))
+	for i, s := range splits {
+		var best *cluster.Node
+		for _, id := range s.Nodes {
+			w, ok := byID[id]
+			if !ok {
+				continue
+			}
+			if best == nil || load[w.ID] < load[best.ID] ||
+				(load[w.ID] == load[best.ID] && w.ID < best.ID) {
+				best = w
+			}
+		}
+		if best == nil {
+			// No local worker: least-loaded worker overall.
+			for _, w := range e.workers {
+				if best == nil || load[w.ID] < load[best.ID] {
+					best = w
+				}
+			}
+		}
+		load[best.ID]++
+		out[i] = best
+	}
+	return out
+}
+
+// recordData returns the whole records of a split, applying the Hadoop
+// TextInputFormat convention: a split starting past offset 0 skips its
+// first partial line (owned by the previous split) and reads past its end
+// to finish its last line.
+func (e *Engine) recordData(s dfs.Split) ([]byte, error) {
+	data, err := e.fs.SplitData(s)
+	if err != nil {
+		return nil, err
+	}
+	if s.Offset > 0 {
+		// The record straddling the split start belongs to the previous
+		// split; also check whether the byte just before the split is a
+		// newline (then the first line is whole and ours).
+		prev, err := e.fs.ReadRange(s.File, s.Offset-1, 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(prev) == 1 && prev[0] != '\n' {
+			nl := bytes.IndexByte(data, '\n')
+			if nl < 0 {
+				data = nil
+			} else {
+				data = data[nl+1:]
+			}
+		}
+	}
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		// Finish the trailing record by peeking past the split.
+		const peek = 64 * 1024
+		ext, err := e.fs.ReadRange(s.File, s.Offset+s.Length, peek)
+		if err != nil {
+			return nil, err
+		}
+		if nl := bytes.IndexByte(ext, '\n'); nl >= 0 {
+			data = append(append([]byte(nil), data...), ext[:nl+1]...)
+		} else {
+			data = append(append([]byte(nil), data...), ext...)
+		}
+	}
+	return data, nil
+}
+
+// partition maps a key to a reducer.
+func partition(key string, reducers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(reducers))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

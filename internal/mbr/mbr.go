@@ -1,0 +1,356 @@
+// Package mbr implements minimum-bandwidth regenerating (MBR) codes using
+// the product-matrix construction of Rashmi, Shah, and Kumar — the other
+// extreme of the storage/repair-bandwidth trade-off the paper's related
+// work situates Carousel codes in. Where MSR codes store the MDS minimum
+// (1/k of the data per block) and repair with d/(d-k+1) blocks of traffic,
+// MBR codes store more per block but repair a lost block by moving
+// exactly one block's worth of bytes — the information-theoretic minimum
+// repair bandwidth.
+//
+// Construction (d >= k): each block holds alpha = d units; the message
+// fills a symmetric d x d matrix M = [[S, T], [T^T, 0]] with S symmetric
+// k x k and T arbitrary k x (d-k), for B = k*d - k*(k-1)/2 message units
+// per stripe. Block i is psi_i * M with Vandermonde psi. Because M is
+// symmetric, a helper j repairs block f by sending the single unit
+// psi_j M psi_f^T, and the newcomer inverts Psi_D to obtain
+// M psi_f^T = block f.
+package mbr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"carousel/internal/matrix"
+)
+
+// Common argument errors.
+var (
+	// ErrTooFewBlocks is returned when fewer than k blocks are available.
+	ErrTooFewBlocks = errors.New("mbr: fewer than k blocks available")
+
+	// ErrBlockSizeMismatch is returned for inconsistent or misaligned
+	// sizes.
+	ErrBlockSizeMismatch = errors.New("mbr: bad block or message size")
+
+	// ErrBlockCount is returned when counts do not match the parameters.
+	ErrBlockCount = errors.New("mbr: wrong number of blocks")
+
+	// ErrBadHelpers is returned for invalid repair helper sets.
+	ErrBadHelpers = errors.New("mbr: invalid helper set")
+)
+
+// Code is an (n, k, d) product-matrix MBR code. Construct with New; safe
+// for concurrent use.
+type Code struct {
+	n, k, d int
+	msgLen  int // B = k*d - k*(k-1)/2 message units per stripe
+
+	psi *matrix.Matrix // n x d Vandermonde encoding matrix
+	gen *matrix.Matrix // (n*d) x B generator over message units
+
+	mu       sync.Mutex
+	decCache map[string]*decSolver
+}
+
+type decSolver struct {
+	rows []int // selected generator rows
+	inv  *matrix.Matrix
+}
+
+// New constructs an (n, k, d) MBR code with k <= d < n and 2 <= k.
+func New(n, k, d int) (*Code, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("mbr: k must be at least 2, got %d", k)
+	}
+	if d < k || d >= n {
+		return nil, fmt.Errorf("mbr: need k <= d < n, got k=%d d=%d n=%d", k, d, n)
+	}
+	if n > 255 {
+		return nil, fmt.Errorf("mbr: n=%d exceeds GF(256) capacity", n)
+	}
+	c := &Code{
+		n: n, k: k, d: d,
+		msgLen:   k*d - k*(k-1)/2,
+		decCache: make(map[string]*decSolver),
+	}
+	xs := make([]byte, n)
+	for i := range xs {
+		xs[i] = byte(i + 1)
+	}
+	c.psi = matrix.Vandermonde(xs, d)
+	// Generator: unit (i, s) = sum_r psi_i[r] * M[r][s], with M symmetric
+	// and its lower-right (d-k) x (d-k) corner zero.
+	gen := matrix.New(n*d, c.msgLen)
+	for i := 0; i < n; i++ {
+		psiRow := c.psi.Row(i)
+		for s := 0; s < d; s++ {
+			row := gen.Row(i*d + s)
+			for r := 0; r < d; r++ {
+				coef := psiRow[r]
+				if coef == 0 {
+					continue
+				}
+				p, ok := c.param(r, s)
+				if !ok {
+					continue // structural zero
+				}
+				row[p] ^= coef
+			}
+		}
+	}
+	c.gen = gen
+	return c, nil
+}
+
+// param maps M[r][s] to its message-unit index, honoring symmetry and the
+// zero corner. Layout: the upper triangle of S row-major (k*(k+1)/2
+// units), then T row-major (k*(d-k) units).
+func (c *Code) param(r, s int) (int, bool) {
+	if r > s {
+		r, s = s, r
+	}
+	switch {
+	case s < c.k:
+		// Inside S.
+		return r*c.k - r*(r-1)/2 + (s - r), true
+	case r < c.k:
+		// Inside T.
+		return c.k*(c.k+1)/2 + r*(c.d-c.k) + (s - c.k), true
+	default:
+		return 0, false // zero corner
+	}
+}
+
+// N returns the total number of blocks per stripe.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of blocks needed to decode.
+func (c *Code) K() int { return c.k }
+
+// D returns the number of repair helpers.
+func (c *Code) D() int { return c.d }
+
+// Alpha returns the units per block (d).
+func (c *Code) Alpha() int { return c.d }
+
+// MessageUnits returns B, the message units per stripe.
+func (c *Code) MessageUnits() int { return c.msgLen }
+
+// StorageOverhead returns the total stored bytes per message byte:
+// n*d / B, strictly above the MDS n/k.
+func (c *Code) StorageOverhead() float64 {
+	return float64(c.n*c.d) / float64(c.msgLen)
+}
+
+// Encode encodes a message whose length is a multiple of MessageUnits()
+// into n blocks of Alpha() units each (len(message)/B bytes per unit).
+func (c *Code) Encode(message []byte) ([][]byte, error) {
+	if len(message) == 0 || len(message)%c.msgLen != 0 {
+		return nil, fmt.Errorf("%w: message of %d bytes must be a positive multiple of B=%d",
+			ErrBlockSizeMismatch, len(message), c.msgLen)
+	}
+	usize := len(message) / c.msgLen
+	in := make([][]byte, c.msgLen)
+	for i := range in {
+		in[i] = message[i*usize : (i+1)*usize]
+	}
+	blocks := make([][]byte, c.n)
+	out := make([][]byte, 0, c.n*c.d)
+	for i := range blocks {
+		blocks[i] = make([]byte, c.d*usize)
+		for s := 0; s < c.d; s++ {
+			out = append(out, blocks[i][s*usize:(s+1)*usize])
+		}
+	}
+	c.gen.ApplyToUnits(in, out)
+	return blocks, nil
+}
+
+// Decode recovers the message from any k available blocks (nil entries
+// mark missing blocks).
+func (c *Code) Decode(blocks [][]byte) ([]byte, error) {
+	if len(blocks) != c.n {
+		return nil, fmt.Errorf("%w: got %d blocks, want %d", ErrBlockCount, len(blocks), c.n)
+	}
+	size := -1
+	present := make([]int, 0, c.n)
+	for i, b := range blocks {
+		if b == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(b)
+		} else if len(b) != size {
+			return nil, fmt.Errorf("%w: block %d has %d bytes, want %d", ErrBlockSizeMismatch, i, len(b), size)
+		}
+		present = append(present, i)
+	}
+	if len(present) < c.k {
+		return nil, fmt.Errorf("%w: %d present, need %d", ErrTooFewBlocks, len(present), c.k)
+	}
+	if size <= 0 || size%c.d != 0 {
+		return nil, fmt.Errorf("%w: block size %d must be a positive multiple of alpha=%d", ErrBlockSizeMismatch, size, c.d)
+	}
+	present = present[:c.k]
+	solver, err := c.solver(present)
+	if err != nil {
+		return nil, err
+	}
+	usize := size / c.d
+	in := make([][]byte, len(solver.rows))
+	for x, row := range solver.rows {
+		b := row / c.d
+		s := row % c.d
+		in[x] = blocks[b][s*usize : (s+1)*usize]
+	}
+	message := make([]byte, c.msgLen*usize)
+	out := make([][]byte, c.msgLen)
+	for i := range out {
+		out[i] = message[i*usize : (i+1)*usize]
+	}
+	solver.inv.ApplyToUnits(in, out)
+	return message, nil
+}
+
+// solver picks B independent unit rows among the k present blocks and
+// caches the inverse.
+func (c *Code) solver(present []int) (*decSolver, error) {
+	key := make([]byte, len(present))
+	for i, p := range present {
+		key[i] = byte(p)
+	}
+	c.mu.Lock()
+	if s, ok := c.decCache[string(key)]; ok {
+		c.mu.Unlock()
+		return s, nil
+	}
+	c.mu.Unlock()
+	tracker := matrix.NewRankTracker(c.msgLen)
+	rows := make([]int, 0, c.msgLen)
+	for _, b := range present {
+		for s := 0; s < c.d; s++ {
+			row := b*c.d + s
+			if tracker.Add(c.gen.Row(row)) {
+				rows = append(rows, row)
+			}
+		}
+	}
+	if len(rows) < c.msgLen {
+		return nil, fmt.Errorf("mbr: blocks %v yield rank %d of %d (construction bug)", present, len(rows), c.msgLen)
+	}
+	inv, err := c.gen.SelectRows(rows).Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("mbr: decode matrix: %w", err)
+	}
+	s := &decSolver{rows: rows, inv: inv}
+	c.mu.Lock()
+	c.decCache[string(key)] = s
+	c.mu.Unlock()
+	return s, nil
+}
+
+// HelperChunk computes one helper's repair contribution: the single unit
+// psi_helper * M * psi_failed^T = block_helper . psi_failed (an inner
+// product of the helper's d units with the failed block's psi row).
+func (c *Code) HelperChunk(helper, failed int, block []byte) ([]byte, error) {
+	if helper < 0 || helper >= c.n || failed < 0 || failed >= c.n || helper == failed {
+		return nil, fmt.Errorf("%w: helper %d / failed %d", ErrBadHelpers, helper, failed)
+	}
+	if len(block) == 0 || len(block)%c.d != 0 {
+		return nil, fmt.Errorf("%w: block size %d", ErrBlockSizeMismatch, len(block))
+	}
+	usize := len(block) / c.d
+	segs := make([][]byte, c.d)
+	for s := range segs {
+		segs[s] = block[s*usize : (s+1)*usize]
+	}
+	out := make([]byte, usize)
+	matrix.ApplyRowToUnits(c.psi.Row(failed), segs, out)
+	return out, nil
+}
+
+// RepairBlock regenerates the failed block from d helper chunks (given in
+// helper order): stack the chunks as Psi_D * (M psi_f^T), invert Psi_D,
+// and the result M psi_f^T is the failed block by symmetry of M. Total
+// traffic: d units = exactly one block.
+func (c *Code) RepairBlock(failed int, helpers []int, chunks [][]byte) ([]byte, error) {
+	if err := c.validateHelpers(failed, helpers); err != nil {
+		return nil, err
+	}
+	if len(chunks) != c.d {
+		return nil, fmt.Errorf("%w: got %d chunks, want %d", ErrBlockCount, len(chunks), c.d)
+	}
+	usize := -1
+	for i, ch := range chunks {
+		if ch == nil {
+			return nil, fmt.Errorf("%w: chunk %d is nil", ErrBlockCount, i)
+		}
+		if usize == -1 {
+			usize = len(ch)
+		} else if len(ch) != usize {
+			return nil, fmt.Errorf("%w: chunk %d has %d bytes, want %d", ErrBlockSizeMismatch, i, len(ch), usize)
+		}
+	}
+	if usize <= 0 {
+		return nil, fmt.Errorf("%w: empty chunks", ErrBlockSizeMismatch)
+	}
+	psiD := c.psi.SelectRows(helpers)
+	inv, err := psiD.Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("mbr: helper matrix: %w", err)
+	}
+	block := make([]byte, c.d*usize)
+	out := make([][]byte, c.d)
+	for s := range out {
+		out[s] = block[s*usize : (s+1)*usize]
+	}
+	inv.ApplyToUnits(chunks, out)
+	return block, nil
+}
+
+// Repair runs both repair sides given the full block slice.
+func (c *Code) Repair(failed int, helpers []int, blocks [][]byte) ([]byte, error) {
+	if err := c.validateHelpers(failed, helpers); err != nil {
+		return nil, err
+	}
+	if len(blocks) != c.n {
+		return nil, fmt.Errorf("%w: got %d blocks, want %d", ErrBlockCount, len(blocks), c.n)
+	}
+	chunks := make([][]byte, len(helpers))
+	for i, h := range helpers {
+		if blocks[h] == nil {
+			return nil, fmt.Errorf("%w: helper %d has no block", ErrBadHelpers, h)
+		}
+		ch, err := c.HelperChunk(h, failed, blocks[h])
+		if err != nil {
+			return nil, err
+		}
+		chunks[i] = ch
+	}
+	return c.RepairBlock(failed, helpers, chunks)
+}
+
+// ReconstructionTraffic returns the repair download for one block of the
+// given size: d chunks of blockSize/d bytes — exactly one block, the MBR
+// optimum.
+func (c *Code) ReconstructionTraffic(blockSize int) int {
+	return c.d * (blockSize / c.d)
+}
+
+func (c *Code) validateHelpers(failed int, helpers []int) error {
+	if failed < 0 || failed >= c.n {
+		return fmt.Errorf("%w: failed block %d out of range", ErrBadHelpers, failed)
+	}
+	if len(helpers) != c.d {
+		return fmt.Errorf("%w: got %d helpers, want d=%d", ErrBadHelpers, len(helpers), c.d)
+	}
+	seen := make(map[int]bool, len(helpers))
+	for _, h := range helpers {
+		if h < 0 || h >= c.n || h == failed || seen[h] {
+			return fmt.Errorf("%w: bad helper %d", ErrBadHelpers, h)
+		}
+		seen[h] = true
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package mbr
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCode(t *testing.T, n, k, d int) *Code {
+	t.Helper()
+	c, err := New(n, k, d)
+	if err != nil {
+		t.Fatalf("New(%d,%d,%d): %v", n, k, d, err)
+	}
+	return c
+}
+
+var configs = []struct{ n, k, d int }{
+	{4, 2, 2},
+	{5, 3, 4},
+	{6, 3, 5},
+	{8, 4, 6},
+	{12, 6, 10},
+}
+
+func randomMessage(rng *rand.Rand, c *Code, usize int) []byte {
+	m := make([]byte, c.MessageUnits()*usize)
+	rng.Read(m)
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tt := range []struct{ n, k, d int }{
+		{4, 1, 2}, {4, 2, 4}, {4, 3, 2}, {300, 4, 6},
+	} {
+		if _, err := New(tt.n, tt.k, tt.d); err == nil {
+			t.Errorf("New(%d,%d,%d) did not error", tt.n, tt.k, tt.d)
+		}
+	}
+}
+
+func TestParamsAndOverhead(t *testing.T) {
+	c := mustCode(t, 12, 6, 10)
+	if c.N() != 12 || c.K() != 6 || c.D() != 10 || c.Alpha() != 10 {
+		t.Fatal("accessor mismatch")
+	}
+	// B = 6*10 - 15 = 45.
+	if c.MessageUnits() != 45 {
+		t.Fatalf("B = %d, want 45", c.MessageUnits())
+	}
+	// Overhead n*d/B = 120/45 ≈ 2.67 > MDS 2.0.
+	if so := c.StorageOverhead(); so <= 2.0 {
+		t.Fatalf("MBR overhead %g should exceed the MDS 2.0", so)
+	}
+}
+
+func TestEncodeDecodeEveryKSubset(t *testing.T) {
+	for _, cfg := range configs {
+		if cfg.n > 8 {
+			continue
+		}
+		c := mustCode(t, cfg.n, cfg.k, cfg.d)
+		rng := rand.New(rand.NewSource(1))
+		msg := randomMessage(rng, c, 8)
+		blocks, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mask := 0; mask < 1<<cfg.n; mask++ {
+			if popcount(mask) != cfg.k {
+				continue
+			}
+			avail := make([][]byte, cfg.n)
+			for i := 0; i < cfg.n; i++ {
+				if mask&(1<<i) != 0 {
+					avail[i] = blocks[i]
+				}
+			}
+			got, err := c.Decode(avail)
+			if err != nil {
+				t.Fatalf("(%d,%d,%d) mask %b: %v", cfg.n, cfg.k, cfg.d, mask, err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("(%d,%d,%d) mask %b: message mismatch", cfg.n, cfg.k, cfg.d, mask)
+			}
+		}
+	}
+}
+
+func TestDecodeLargeConfig(t *testing.T) {
+	c := mustCode(t, 12, 6, 10)
+	rng := rand.New(rand.NewSource(2))
+	msg := randomMessage(rng, c, 4)
+	blocks, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		perm := rng.Perm(12)[:6]
+		avail := make([][]byte, 12)
+		for _, i := range perm {
+			avail[i] = blocks[i]
+		}
+		got, err := c.Decode(avail)
+		if err != nil {
+			t.Fatalf("subset %v: %v", perm, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("subset %v: mismatch", perm)
+		}
+	}
+}
+
+func TestRepairEveryBlockMovesOneBlock(t *testing.T) {
+	for _, cfg := range configs {
+		c := mustCode(t, cfg.n, cfg.k, cfg.d)
+		rng := rand.New(rand.NewSource(3))
+		msg := randomMessage(rng, c, 8)
+		blocks, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockSize := len(blocks[0])
+		for failed := 0; failed < cfg.n; failed++ {
+			helpers := make([]int, 0, cfg.d)
+			for i := 0; i < cfg.n && len(helpers) < cfg.d; i++ {
+				if i != failed {
+					helpers = append(helpers, i)
+				}
+			}
+			traffic := 0
+			chunks := make([][]byte, len(helpers))
+			for i, h := range helpers {
+				ch, err := c.HelperChunk(h, failed, blocks[h])
+				if err != nil {
+					t.Fatal(err)
+				}
+				chunks[i] = ch
+				traffic += len(ch)
+			}
+			if traffic != blockSize {
+				t.Fatalf("(%d,%d,%d): repair traffic %d, want exactly one block %d",
+					cfg.n, cfg.k, cfg.d, traffic, blockSize)
+			}
+			got, err := c.RepairBlock(failed, helpers, chunks)
+			if err != nil {
+				t.Fatalf("(%d,%d,%d) repair %d: %v", cfg.n, cfg.k, cfg.d, failed, err)
+			}
+			if !bytes.Equal(got, blocks[failed]) {
+				t.Fatalf("(%d,%d,%d) repair %d: mismatch", cfg.n, cfg.k, cfg.d, failed)
+			}
+		}
+	}
+}
+
+func TestRepairConvenienceAndValidation(t *testing.T) {
+	c := mustCode(t, 6, 3, 5)
+	rng := rand.New(rand.NewSource(4))
+	msg := randomMessage(rng, c, 4)
+	blocks, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Repair(0, []int{1, 2, 3, 4, 5}, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blocks[0]) {
+		t.Fatal("Repair mismatch")
+	}
+	for _, tt := range [][]int{
+		{1, 2, 3, 4},    // too few
+		{0, 1, 2, 3, 4}, // includes failed
+		{1, 1, 2, 3, 4}, // duplicate
+		{1, 2, 3, 4, 9}, // out of range
+	} {
+		if _, err := c.Repair(0, tt, blocks); !errors.Is(err, ErrBadHelpers) {
+			t.Errorf("helpers %v: err = %v, want ErrBadHelpers", tt, err)
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := mustCode(t, 4, 2, 3)
+	if _, err := c.Encode(nil); !errors.Is(err, ErrBlockSizeMismatch) {
+		t.Fatalf("empty message: %v", err)
+	}
+	if _, err := c.Encode(make([]byte, c.MessageUnits()+1)); !errors.Is(err, ErrBlockSizeMismatch) {
+		t.Fatalf("misaligned message: %v", err)
+	}
+}
+
+func TestDecodeTooFew(t *testing.T) {
+	c := mustCode(t, 4, 2, 3)
+	avail := make([][]byte, 4)
+	avail[1] = make([]byte, 3*c.Alpha())
+	if _, err := c.Decode(avail); !errors.Is(err, ErrTooFewBlocks) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: round trips and repairs hold for random messages.
+func TestRoundTripProperty(t *testing.T) {
+	c := mustCode(t, 6, 3, 4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		msg := randomMessage(rng, c, 2+rng.Intn(6))
+		blocks, err := c.Encode(msg)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(6)[:3]
+		avail := make([][]byte, 6)
+		for _, i := range perm {
+			avail[i] = blocks[i]
+		}
+		got, err := c.Decode(avail)
+		if err != nil || !bytes.Equal(got, msg) {
+			return false
+		}
+		failed := rng.Intn(6)
+		var helpers []int
+		for i := 0; i < 6 && len(helpers) < 4; i++ {
+			if i != failed {
+				helpers = append(helpers, i)
+			}
+		}
+		rep, err := c.Repair(failed, helpers, blocks)
+		return err == nil && bytes.Equal(rep, blocks[failed])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func popcount(x int) int {
+	n := 0
+	for x != 0 {
+		n += x & 1
+		x >>= 1
+	}
+	return n
+}

@@ -1,0 +1,337 @@
+// Package reedsolomon implements systematic (n, k) Reed-Solomon erasure
+// codes over GF(2^8), the baseline code of the Carousel paper and the d = k
+// base of the Carousel construction.
+//
+// The generator matrix is an extended-Cauchy construction: the top k rows
+// are the identity (the k data blocks are stored verbatim) and every k x k
+// row submatrix is invertible, so any k of the n blocks decode the original
+// data (the MDS property). Reconstructing one block downloads k blocks, the
+// behaviour the paper contrasts with MSR and Carousel codes in Fig. 7.
+package reedsolomon
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"carousel/internal/matrix"
+)
+
+// Common argument errors.
+var (
+	// ErrTooFewBlocks is returned when fewer than k blocks are available
+	// for a decode or reconstruction.
+	ErrTooFewBlocks = errors.New("reedsolomon: fewer than k blocks available")
+
+	// ErrBlockSizeMismatch is returned when the provided blocks do not all
+	// have the same length.
+	ErrBlockSizeMismatch = errors.New("reedsolomon: blocks have different sizes")
+
+	// ErrBlockCount is returned when the number of provided blocks does not
+	// match the code parameters.
+	ErrBlockCount = errors.New("reedsolomon: wrong number of blocks")
+)
+
+// Code is a systematic (n, k) Reed-Solomon code. It is safe for concurrent
+// use: construction precomputes the generator and all later state is an
+// internally synchronized cache of decode matrices.
+type Code struct {
+	n, k int
+	gen  *matrix.Matrix // n x k, top k rows identity
+
+	mu       sync.Mutex
+	decCache map[string]*matrix.Matrix // survivor-set -> inverse
+}
+
+// New returns a systematic (n, k) Reed-Solomon code.
+func New(n, k int) (*Code, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("reedsolomon: k must be positive, got %d", k)
+	}
+	if n <= k {
+		return nil, fmt.Errorf("reedsolomon: n must exceed k, got n=%d k=%d", n, k)
+	}
+	gen, err := matrix.SystematicCauchy(n, k)
+	if err != nil {
+		return nil, fmt.Errorf("reedsolomon: building generator: %w", err)
+	}
+	return &Code{n: n, k: k, gen: gen, decCache: make(map[string]*matrix.Matrix)}, nil
+}
+
+// N returns the total number of blocks per stripe.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of data blocks per stripe.
+func (c *Code) K() int { return c.k }
+
+// GeneratorMatrix returns a copy of the n x k generator matrix.
+func (c *Code) GeneratorMatrix() *matrix.Matrix { return c.gen.Clone() }
+
+// Encode encodes k equally sized data blocks into n blocks. The first k
+// output blocks alias fresh copies of the data blocks; the remaining n-k are
+// parity. The input is not modified.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: got %d data blocks, want %d", ErrBlockCount, len(data), c.k)
+	}
+	size, err := uniformSize(data, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, c.n)
+	for i := range out {
+		out[i] = make([]byte, size)
+	}
+	c.gen.ApplyToUnits(data, out)
+	return out, nil
+}
+
+// EncodeInto writes parity for the given data blocks into the provided
+// parity slices (len n-k, each the size of a data block). It avoids the
+// allocations of Encode for callers that manage buffers.
+func (c *Code) EncodeInto(data, parity [][]byte) error {
+	if len(data) != c.k {
+		return fmt.Errorf("%w: got %d data blocks, want %d", ErrBlockCount, len(data), c.k)
+	}
+	if len(parity) != c.n-c.k {
+		return fmt.Errorf("%w: got %d parity blocks, want %d", ErrBlockCount, len(parity), c.n-c.k)
+	}
+	size, err := uniformSize(data, false)
+	if err != nil {
+		return err
+	}
+	for i, p := range parity {
+		if len(p) != size {
+			return fmt.Errorf("%w: parity block %d has %d bytes, want %d", ErrBlockSizeMismatch, i, len(p), size)
+		}
+	}
+	parityGen := c.gen.SubMatrix(c.k, c.n, 0, c.k)
+	parityGen.ApplyToUnits(data, parity)
+	return nil
+}
+
+// Reconstruct fills in the missing (nil) entries of blocks, which must have
+// length n. At least k entries must be non-nil. All non-nil blocks must have
+// equal length. On success every entry of blocks is populated.
+func (c *Code) Reconstruct(blocks [][]byte) error {
+	if len(blocks) != c.n {
+		return fmt.Errorf("%w: got %d blocks, want %d", ErrBlockCount, len(blocks), c.n)
+	}
+	size, err := uniformSize(blocks, true)
+	if err != nil {
+		return err
+	}
+	present := make([]int, 0, c.n)
+	missing := make([]int, 0, c.n)
+	for i, b := range blocks {
+		if b != nil {
+			present = append(present, i)
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(present) < c.k {
+		return fmt.Errorf("%w: %d present, need %d", ErrTooFewBlocks, len(present), c.k)
+	}
+	present = present[:c.k]
+	inv, err := c.decodeMatrix(present)
+	if err != nil {
+		return err
+	}
+	in := make([][]byte, c.k)
+	for i, idx := range present {
+		in[i] = blocks[idx]
+	}
+	// Rebuild each missing block as (generator row) * inv * survivors.
+	rows := make([]int, len(missing))
+	copy(rows, missing)
+	rebuild := c.gen.SelectRows(rows).Mul(inv)
+	out := make([][]byte, len(missing))
+	for i, idx := range missing {
+		blocks[idx] = make([]byte, size)
+		out[i] = blocks[idx]
+	}
+	rebuild.ApplyToUnits(in, out)
+	return nil
+}
+
+// Decode returns the k data blocks from any k or more available blocks.
+// blocks must have length n with nil entries for unavailable blocks. The
+// returned slices are freshly allocated except when a data block is present,
+// in which case it is returned as-is.
+func (c *Code) Decode(blocks [][]byte) ([][]byte, error) {
+	if len(blocks) != c.n {
+		return nil, fmt.Errorf("%w: got %d blocks, want %d", ErrBlockCount, len(blocks), c.n)
+	}
+	size, err := uniformSize(blocks, true)
+	if err != nil {
+		return nil, err
+	}
+	// Fast path: all data blocks present.
+	allData := true
+	for i := 0; i < c.k; i++ {
+		if blocks[i] == nil {
+			allData = false
+			break
+		}
+	}
+	if allData {
+		return blocks[:c.k:c.k], nil
+	}
+	present := make([]int, 0, c.n)
+	for i, b := range blocks {
+		if b != nil {
+			present = append(present, i)
+		}
+	}
+	if len(present) < c.k {
+		return nil, fmt.Errorf("%w: %d present, need %d", ErrTooFewBlocks, len(present), c.k)
+	}
+	present = present[:c.k]
+	inv, err := c.decodeMatrix(present)
+	if err != nil {
+		return nil, err
+	}
+	in := make([][]byte, c.k)
+	for i, idx := range present {
+		in[i] = blocks[idx]
+	}
+	out := make([][]byte, c.k)
+	for i := range out {
+		out[i] = make([]byte, size)
+	}
+	inv.ApplyToUnits(in, out)
+	return out, nil
+}
+
+// Verify checks that the parity blocks are consistent with the data blocks.
+// All n blocks must be present.
+func (c *Code) Verify(blocks [][]byte) (bool, error) {
+	if len(blocks) != c.n {
+		return false, fmt.Errorf("%w: got %d blocks, want %d", ErrBlockCount, len(blocks), c.n)
+	}
+	if _, err := uniformSize(blocks, false); err != nil {
+		return false, err
+	}
+	expect, err := c.Encode(blocks[:c.k])
+	if err != nil {
+		return false, err
+	}
+	for i := c.k; i < c.n; i++ {
+		if !bytesEqual(expect[i], blocks[i]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ReconstructionTraffic returns the number of bytes downloaded to
+// reconstruct one block of the given size: k blocks, per Section IV of the
+// paper.
+func (c *Code) ReconstructionTraffic(blockSize int) int {
+	return c.k * blockSize
+}
+
+// decodeMatrix returns the inverse of the generator rows selected by the
+// sorted survivor set, caching the result.
+func (c *Code) decodeMatrix(present []int) (*matrix.Matrix, error) {
+	key := make([]byte, len(present))
+	for i, p := range present {
+		key[i] = byte(p)
+	}
+	c.mu.Lock()
+	if inv, ok := c.decCache[string(key)]; ok {
+		c.mu.Unlock()
+		return inv, nil
+	}
+	c.mu.Unlock()
+	inv, err := c.gen.SelectRows(present).Inverse()
+	if err != nil {
+		return nil, fmt.Errorf("reedsolomon: decode matrix for %v: %w", present, err)
+	}
+	c.mu.Lock()
+	c.decCache[string(key)] = inv
+	c.mu.Unlock()
+	return inv, nil
+}
+
+// uniformSize returns the common length of the non-nil blocks. When
+// allowNil is false, nil entries are rejected.
+func uniformSize(blocks [][]byte, allowNil bool) (int, error) {
+	size := -1
+	for i, b := range blocks {
+		if b == nil {
+			if !allowNil {
+				return 0, fmt.Errorf("%w: block %d is nil", ErrBlockSizeMismatch, i)
+			}
+			continue
+		}
+		if size == -1 {
+			size = len(b)
+		} else if len(b) != size {
+			return 0, fmt.Errorf("%w: block %d has %d bytes, want %d", ErrBlockSizeMismatch, i, len(b), size)
+		}
+	}
+	if size <= 0 {
+		if size == -1 {
+			return 0, fmt.Errorf("%w: no blocks present", ErrTooFewBlocks)
+		}
+		return 0, fmt.Errorf("%w: empty blocks", ErrBlockSizeMismatch)
+	}
+	return size, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Split divides data into k equally sized shards, padding the last shard
+// with zeros. The shard size is the smallest multiple of align covering
+// ceil(len(data)/k) bytes; align must be positive. Split copies the data.
+func Split(data []byte, k, align int) ([][]byte, int, error) {
+	if k <= 0 || align <= 0 {
+		return nil, 0, fmt.Errorf("reedsolomon: invalid split k=%d align=%d", k, align)
+	}
+	if len(data) == 0 {
+		return nil, 0, errors.New("reedsolomon: cannot split empty data")
+	}
+	per := (len(data) + k - 1) / k
+	per = (per + align - 1) / align * align
+	shards := make([][]byte, k)
+	for i := range shards {
+		shards[i] = make([]byte, per)
+		lo := i * per
+		if lo < len(data) {
+			hi := lo + per
+			if hi > len(data) {
+				hi = len(data)
+			}
+			copy(shards[i], data[lo:hi])
+		}
+	}
+	return shards, per, nil
+}
+
+// Join reassembles the original data of the given total size from k shards
+// produced by Split.
+func Join(shards [][]byte, size int) ([]byte, error) {
+	out := make([]byte, 0, size)
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	if len(out) < size {
+		return nil, fmt.Errorf("reedsolomon: shards hold %d bytes, want %d", len(out), size)
+	}
+	return out[:size], nil
+}

@@ -1,0 +1,218 @@
+// Package stream provides stripe-at-a-time streaming encode and decode for
+// Carousel codes: a Writer that consumes an arbitrary byte stream, encodes
+// every k*blockSize bytes into one stripe of n blocks, and hands the
+// blocks to a sink; and a Reader that reassembles the stream from a block
+// source, using the Carousel parallel read so missing blocks degrade
+// gracefully. This is the shape of the paper's HDFS integration: files are
+// stored as sequences of encoded stripes.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"carousel/internal/carousel"
+)
+
+// BlockSink receives the encoded blocks of each stripe, in order. The data
+// slice is owned by the sink after the call.
+type BlockSink interface {
+	PutBlock(stripe, block int, data []byte) error
+}
+
+// BlockSource returns the blocks of a stripe; unavailable blocks are nil
+// entries. The returned slices are not modified.
+type BlockSource interface {
+	StripeBlocks(stripe int) ([][]byte, error)
+}
+
+// Writer encodes a byte stream into consecutive stripes. It implements
+// io.WriteCloser; Close flushes the final, zero-padded stripe. The total
+// number of bytes written must be recorded by the caller (e.g. in a
+// manifest) to trim the padding on read.
+type Writer struct {
+	code      *carousel.Code
+	sink      BlockSink
+	blockSize int
+	buf       []byte
+	fill      int
+	stripe    int
+	closed    bool
+}
+
+// NewWriter returns a streaming encoder. blockSize must be a positive
+// multiple of code.BlockAlign().
+func NewWriter(code *carousel.Code, blockSize int, sink BlockSink) (*Writer, error) {
+	if blockSize <= 0 || blockSize%code.BlockAlign() != 0 {
+		return nil, fmt.Errorf("stream: block size %d must be a positive multiple of %d", blockSize, code.BlockAlign())
+	}
+	if sink == nil {
+		return nil, errors.New("stream: nil sink")
+	}
+	return &Writer{
+		code:      code,
+		sink:      sink,
+		blockSize: blockSize,
+		buf:       make([]byte, code.K()*blockSize),
+	}, nil
+}
+
+// Write buffers p, emitting a stripe whenever k*blockSize bytes are
+// available.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("stream: write after Close")
+	}
+	written := 0
+	for len(p) > 0 {
+		n := copy(w.buf[w.fill:], p)
+		w.fill += n
+		written += n
+		p = p[n:]
+		if w.fill == len(w.buf) {
+			if err := w.flush(); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// flush encodes and emits the buffered stripe.
+func (w *Writer) flush() error {
+	shards := make([][]byte, w.code.K())
+	for i := range shards {
+		shards[i] = w.buf[i*w.blockSize : (i+1)*w.blockSize]
+	}
+	blocks, err := w.code.Encode(shards)
+	if err != nil {
+		return fmt.Errorf("stream: encoding stripe %d: %w", w.stripe, err)
+	}
+	for i, b := range blocks {
+		if err := w.sink.PutBlock(w.stripe, i, b); err != nil {
+			return fmt.Errorf("stream: sink stripe %d block %d: %w", w.stripe, i, err)
+		}
+	}
+	w.stripe++
+	w.fill = 0
+	return nil
+}
+
+// Close pads and emits any buffered data. It is idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.fill == 0 {
+		return nil
+	}
+	clear(w.buf[w.fill:])
+	w.fill = len(w.buf)
+	return w.flush()
+}
+
+// Stripes returns the number of stripes emitted so far.
+func (w *Writer) Stripes() int { return w.stripe }
+
+// Reader reassembles the original stream of the given size from a block
+// source. It implements io.Reader; stripes are fetched lazily and decoded
+// with the Carousel parallel read, so up to n-k missing blocks per stripe
+// are tolerated.
+type Reader struct {
+	code      *carousel.Code
+	src       BlockSource
+	blockSize int
+	size      int64 // original stream length
+	off       int64
+	stripe    int
+	buf       []byte // decoded current stripe
+	bufOff    int
+}
+
+// NewReader returns a streaming decoder for a stream of the given original
+// size.
+func NewReader(code *carousel.Code, blockSize int, size int64, src BlockSource) (*Reader, error) {
+	if blockSize <= 0 || blockSize%code.BlockAlign() != 0 {
+		return nil, fmt.Errorf("stream: block size %d must be a positive multiple of %d", blockSize, code.BlockAlign())
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("stream: negative size %d", size)
+	}
+	if src == nil {
+		return nil, errors.New("stream: nil source")
+	}
+	return &Reader{code: code, src: src, blockSize: blockSize, size: size}, nil
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.off >= r.size {
+		return 0, io.EOF
+	}
+	if r.bufOff >= len(r.buf) {
+		blocks, err := r.src.StripeBlocks(r.stripe)
+		if err != nil {
+			return 0, fmt.Errorf("stream: fetching stripe %d: %w", r.stripe, err)
+		}
+		data, err := r.code.ParallelRead(blocks)
+		if err != nil {
+			return 0, fmt.Errorf("stream: decoding stripe %d: %w", r.stripe, err)
+		}
+		r.buf = data
+		r.bufOff = 0
+		r.stripe++
+	}
+	n := copy(p, r.buf[r.bufOff:])
+	if rem := r.size - r.off; int64(n) > rem {
+		n = int(rem)
+	}
+	r.bufOff += n
+	r.off += int64(n)
+	if n == 0 && r.off < r.size {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+// MemSink is an in-memory BlockSink/BlockSource, convenient for tests and
+// small files.
+type MemSink struct {
+	stripes [][][]byte
+}
+
+var (
+	_ BlockSink   = (*MemSink)(nil)
+	_ BlockSource = (*MemSink)(nil)
+)
+
+// PutBlock implements BlockSink.
+func (m *MemSink) PutBlock(stripe, block int, data []byte) error {
+	for len(m.stripes) <= stripe {
+		m.stripes = append(m.stripes, nil)
+	}
+	for len(m.stripes[stripe]) <= block {
+		m.stripes[stripe] = append(m.stripes[stripe], nil)
+	}
+	m.stripes[stripe][block] = data
+	return nil
+}
+
+// StripeBlocks implements BlockSource.
+func (m *MemSink) StripeBlocks(stripe int) ([][]byte, error) {
+	if stripe < 0 || stripe >= len(m.stripes) {
+		return nil, fmt.Errorf("stream: stripe %d out of range [0,%d)", stripe, len(m.stripes))
+	}
+	return m.stripes[stripe], nil
+}
+
+// Drop marks a block unavailable, for failure injection.
+func (m *MemSink) Drop(stripe, block int) {
+	if stripe < len(m.stripes) && block < len(m.stripes[stripe]) {
+		m.stripes[stripe][block] = nil
+	}
+}
+
+// Stripes returns the number of stored stripes.
+func (m *MemSink) Stripes() int { return len(m.stripes) }

@@ -1,0 +1,164 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"carousel/internal/carousel"
+)
+
+func mustCode(t *testing.T) *carousel.Code {
+	t.Helper()
+	c, err := carousel.New(12, 6, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRoundTripVariousSizes(t *testing.T) {
+	code := mustCode(t)
+	blockSize := code.BlockAlign() * 16
+	stripeData := code.K() * blockSize
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{1, blockSize - 1, stripeData, stripeData + 1, 3*stripeData - 7} {
+		data := make([]byte, size)
+		rng.Read(data)
+		sink := &MemSink{}
+		w, err := NewWriter(code, blockSize, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Write in awkward chunk sizes.
+		for off := 0; off < len(data); {
+			n := 13
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			wn, err := w.Write(data[off : off+n])
+			if err != nil {
+				t.Fatal(err)
+			}
+			off += wn
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wantStripes := (size + stripeData - 1) / stripeData
+		if sink.Stripes() != wantStripes || w.Stripes() != wantStripes {
+			t.Fatalf("size %d: %d stripes, want %d", size, sink.Stripes(), wantStripes)
+		}
+		r, err := NewReader(code, blockSize, int64(size), sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("size %d: round trip mismatch", size)
+		}
+	}
+}
+
+func TestReaderToleratesMissingBlocks(t *testing.T) {
+	code := mustCode(t)
+	blockSize := code.BlockAlign() * 8
+	stripeData := code.K() * blockSize
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 2*stripeData)
+	rng.Read(data)
+	sink := &MemSink{}
+	w, err := NewWriter(code, blockSize, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Lose the maximum tolerable blocks in each stripe.
+	for _, b := range []int{0, 2, 4, 6, 8, 10} {
+		sink.Drop(0, b)
+	}
+	for _, b := range []int{1, 3, 5, 7, 9, 11} {
+		sink.Drop(1, b)
+	}
+	r, err := NewReader(code, blockSize, int64(len(data)), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded stream read mismatch")
+	}
+	// One more loss makes a stripe unrecoverable.
+	sink.Drop(0, 1)
+	r2, _ := NewReader(code, blockSize, int64(len(data)), sink)
+	if _, err := io.ReadAll(r2); err == nil {
+		t.Fatal("unrecoverable stripe did not error")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	code := mustCode(t)
+	if _, err := NewWriter(code, code.BlockAlign()+1, &MemSink{}); err == nil {
+		t.Error("misaligned block size did not error")
+	}
+	if _, err := NewWriter(code, 0, &MemSink{}); err == nil {
+		t.Error("zero block size did not error")
+	}
+	if _, err := NewWriter(code, code.BlockAlign(), nil); err == nil {
+		t.Error("nil sink did not error")
+	}
+	w, err := NewWriter(code, code.BlockAlign(), &MemSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("second Close should be a no-op")
+	}
+	if _, err := w.Write([]byte{1}); err == nil {
+		t.Error("write after Close did not error")
+	}
+}
+
+func TestReaderValidation(t *testing.T) {
+	code := mustCode(t)
+	if _, err := NewReader(code, 3, 10, &MemSink{}); err == nil {
+		t.Error("misaligned block size did not error")
+	}
+	if _, err := NewReader(code, code.BlockAlign(), -1, &MemSink{}); err == nil {
+		t.Error("negative size did not error")
+	}
+	if _, err := NewReader(code, code.BlockAlign(), 10, nil); err == nil {
+		t.Error("nil source did not error")
+	}
+	// Zero-size stream reads EOF immediately.
+	r, err := NewReader(code, code.BlockAlign(), 0, &MemSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(make([]byte, 4)); err != io.EOF {
+		t.Fatalf("zero-size read: %v, want EOF", err)
+	}
+}
+
+func TestMemSinkOutOfRange(t *testing.T) {
+	m := &MemSink{}
+	if _, err := m.StripeBlocks(0); err == nil {
+		t.Error("empty sink fetch did not error")
+	}
+	m.Drop(5, 5) // out of range is a no-op
+}

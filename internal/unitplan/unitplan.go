@@ -1,0 +1,197 @@
+// Package unitplan selects which units of each block carry original data in
+// the Carousel construction.
+//
+// Given the expanded generator Ĝ of a base code (every block split into U
+// units), the construction must choose exactly K units from each of the
+// first p blocks such that the chosen rows of Ĝ form an invertible square
+// matrix Ĝ₀. Symbol remapping by Ĝ₀⁻¹ then turns exactly those units into
+// verbatim original data (Sections V-VII of the paper).
+//
+// The package implements the paper's structured round-robin rule and
+// verifies invertibility explicitly; if the structured pattern is singular
+// or undefined for a parameter combination, a deterministic quota-respecting
+// greedy selection completes the plan.
+package unitplan
+
+import (
+	"errors"
+	"fmt"
+
+	"carousel/internal/matrix"
+)
+
+// ErrNoPlan is returned when no balanced invertible selection could be
+// found.
+var ErrNoPlan = errors.New("unitplan: no invertible balanced unit selection exists")
+
+// Plan records a balanced unit selection.
+type Plan struct {
+	// P is the expansion factor: every symbol of the base code is split
+	// into P units, so each block has U = alpha*P units.
+	P int
+	// K is the number of data units carried by each of the first p blocks.
+	K int
+	// U is the number of units per block.
+	U int
+	// Chosen lists, for each of the first p blocks, the canonical unit
+	// indices that carry original data, in the paper's intra-block data
+	// order (Step 3 labeling: window-major, starting at the block's
+	// rotation offset).
+	Chosen [][]int
+	// Structured reports whether the paper's round-robin rule produced the
+	// plan (false when the greedy fallback was used).
+	Structured bool
+}
+
+// Params computes the expansion parameters of an (n, k, d, p) Carousel code
+// with base segment count alpha: the irreducible fraction K/P of
+// k*alpha/p, and U = alpha*P.
+func Params(k, alpha, p int) (kUnits, pFactor, uPerBlock int) {
+	g := gcd(k*alpha, p)
+	kUnits = k * alpha / g
+	pFactor = p / g
+	uPerBlock = alpha * pFactor
+	return kUnits, pFactor, uPerBlock
+}
+
+// Choose selects K data units in each of the first p blocks of the expanded
+// generator gen, which must have n*U rows and k*U columns with U = alpha*P.
+// It first tries the paper's structured rotating rule and falls back to a
+// deterministic greedy completion, always verifying invertibility of the
+// selected row set.
+func Choose(gen *matrix.Matrix, n, k, alpha, p int) (*Plan, error) {
+	if p < k || p > n {
+		return nil, fmt.Errorf("unitplan: p must satisfy k <= p <= n, got k=%d p=%d n=%d", k, p, n)
+	}
+	kUnits, pFactor, u := Params(k, alpha, p)
+	if gen.Rows() != n*u || gen.Cols() != k*u {
+		return nil, fmt.Errorf("unitplan: generator is %dx%d, want %dx%d", gen.Rows(), gen.Cols(), n*u, k*u)
+	}
+	if structured := structuredPlan(k, alpha, p, kUnits, pFactor, u); structured != nil {
+		if planInvertible(gen, structured, u) {
+			return &Plan{P: pFactor, K: kUnits, U: u, Chosen: structured, Structured: true}, nil
+		}
+	}
+	chosen, err := greedyPlan(gen, k, p, kUnits, u)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{P: pFactor, K: kUnits, U: u, Chosen: chosen, Structured: false}, nil
+}
+
+// structuredPlan implements the paper's rule: partition each block's U
+// units into windows of N0 consecutive units, where K0/N0 is the
+// irreducible fraction of k/p, and in block i choose the K0 offsets
+// (i, i+1, ..., i+K0-1) mod N0 within every window. The returned order is
+// window-major with offsets scanned from the block's rotation start, which
+// is the paper's Step 3 labeling order. Returns nil when the windows do not
+// tile the block (N0 does not divide U).
+func structuredPlan(k, alpha, p, kUnits, pFactor, u int) [][]int {
+	g := gcd(k, p)
+	n0 := p / g
+	k0 := k / g
+	if n0 == 0 || u%n0 != 0 {
+		return nil
+	}
+	windows := u / n0
+	if windows*k0 != kUnits {
+		return nil
+	}
+	chosen := make([][]int, p)
+	for i := 0; i < p; i++ {
+		units := make([]int, 0, kUnits)
+		for w := 0; w < windows; w++ {
+			for j := 0; j < k0; j++ {
+				units = append(units, w*n0+(i+j)%n0)
+			}
+		}
+		chosen[i] = units
+	}
+	return chosen
+}
+
+// greedyPlan builds a balanced selection by scanning candidate units in a
+// rotating order and keeping those that increase the rank of the selected
+// row set, respecting the per-block quota of K units.
+func greedyPlan(gen *matrix.Matrix, k, p, kUnits, u int) ([][]int, error) {
+	cols := gen.Cols()
+	elim := matrix.NewRankTracker(cols)
+	chosen := make([][]int, p)
+	counts := make([]int, p)
+	total := 0
+	// Rotate through blocks, each round offering each block its next
+	// diagonal candidate first; multiple passes allow later rows to fill
+	// gaps left by dependent candidates.
+	for pass := 0; pass < u && total < cols; pass++ {
+		for i := 0; i < p && total < cols; i++ {
+			if counts[i] >= kUnits {
+				continue
+			}
+			for off := 0; off < u; off++ {
+				unit := (i + pass + off) % u
+				if containsInt(chosen[i], unit) {
+					continue
+				}
+				if elim.Add(gen.Row(i*u + unit)) {
+					chosen[i] = append(chosen[i], unit)
+					counts[i]++
+					total++
+					break
+				}
+			}
+		}
+	}
+	if total != cols {
+		return nil, fmt.Errorf("%w: greedy selection reached rank %d of %d", ErrNoPlan, total, cols)
+	}
+	for i := range chosen {
+		if counts[i] != kUnits {
+			return nil, fmt.Errorf("%w: block %d holds %d units, want %d", ErrNoPlan, i, counts[i], kUnits)
+		}
+	}
+	return chosen, nil
+}
+
+// planInvertible checks that the selected rows of gen form an invertible
+// matrix.
+func planInvertible(gen *matrix.Matrix, chosen [][]int, u int) bool {
+	elim := matrix.NewRankTracker(gen.Cols())
+	count := 0
+	for i, units := range chosen {
+		for _, unit := range units {
+			if !elim.Add(gen.Row(i*u + unit)) {
+				return false
+			}
+			count++
+		}
+	}
+	return count == gen.Cols()
+}
+
+// SelectionRows returns the global row indices of a plan's chosen units in
+// data order, for building Ĝ₀.
+func (p *Plan) SelectionRows() []int {
+	rows := make([]int, 0, len(p.Chosen)*p.K)
+	for i, units := range p.Chosen {
+		for _, unit := range units {
+			rows = append(rows, i*p.U+unit)
+		}
+	}
+	return rows
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

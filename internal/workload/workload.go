@@ -1,0 +1,115 @@
+// Package workload generates deterministic synthetic inputs for the
+// benchmark jobs: a text corpus for wordcount and keyed records for
+// terasort. The paper's inputs (teragen output and text files) matter only
+// through their size and record structure, which these generators
+// reproduce.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// vocabulary is a fixed word list; a Zipf-ish skew comes from repeating
+// common words more often in the sampling table.
+var vocabulary = buildVocabulary()
+
+func buildVocabulary() []string {
+	base := []string{
+		"the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+		"he", "was", "for", "on", "are", "as", "with", "his", "they", "I",
+		"storage", "erasure", "coding", "block", "parity", "data",
+		"parallel", "carousel", "stripe", "repair", "node", "cluster",
+		"hadoop", "mapreduce", "throughput", "latency", "replica",
+	}
+	// Weight early (common) words more heavily.
+	var table []string
+	for i, w := range base {
+		repeat := len(base) - i
+		for j := 0; j < repeat; j++ {
+			table = append(table, w)
+		}
+	}
+	return table
+}
+
+// Text returns approximately size bytes of newline-terminated text made of
+// space-separated words. The result is deterministic in (size, seed) and
+// always ends with a newline.
+func Text(size int, seed int64) []byte {
+	if size <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	buf.Grow(size + 64)
+	col := 0
+	for buf.Len() < size {
+		w := vocabulary[rng.Intn(len(vocabulary))]
+		if col > 0 {
+			if col+1+len(w) > 72 {
+				buf.WriteByte('\n')
+				col = 0
+			} else {
+				buf.WriteByte(' ')
+				col++
+			}
+		}
+		buf.WriteString(w)
+		col += len(w)
+	}
+	b := buf.Bytes()[:size]
+	// Terminate cleanly so every record is whole.
+	if b[len(b)-1] != '\n' {
+		if nl := bytes.LastIndexByte(b, '\n'); nl >= 0 {
+			// Overwrite the trailing partial line with filler words of
+			// exact length, keeping size.
+			pad(b[nl+1:], rng)
+		} else {
+			pad(b, rng)
+		}
+		b[len(b)-1] = '\n'
+	}
+	return b
+}
+
+// pad fills buf with space-separated 'x' runs so it remains tokenizable.
+func pad(buf []byte, rng *rand.Rand) {
+	for i := range buf {
+		if (i+1)%8 == 0 {
+			buf[i] = ' '
+		} else {
+			buf[i] = 'x'
+		}
+	}
+}
+
+// Records returns size bytes of terasort-style records, each a line
+// "key<TAB>payload". Keys are fixed-width hex so lexicographic order is
+// uniform; payload pads the record to recordLen bytes including the
+// newline. size is rounded down to a whole number of records.
+func Records(size, recordLen int, seed int64) []byte {
+	const keyLen = 10
+	if recordLen < keyLen+3 {
+		recordLen = keyLen + 3
+	}
+	count := size / recordLen
+	if count == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	payload := make([]byte, recordLen-keyLen-2) // minus tab and newline
+	out := make([]byte, 0, count*recordLen)
+	for i := 0; i < count; i++ {
+		key := fmt.Sprintf("%0*x", keyLen, rng.Uint64()&0xffffffffff)
+		for j := range payload {
+			payload[j] = 'A' + byte(rng.Intn(26))
+		}
+		out = append(out, key...)
+		out = append(out, '\t')
+		out = append(out, payload...)
+		out = append(out, '\n')
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTextDeterministicAndSized(t *testing.T) {
+	for _, size := range []int{1, 10, 1000, 65536} {
+		a := Text(size, 42)
+		b := Text(size, 42)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("size %d: not deterministic", size)
+		}
+		if len(a) != size {
+			t.Fatalf("size %d: got %d bytes", size, len(a))
+		}
+		if a[len(a)-1] != '\n' {
+			t.Fatalf("size %d: does not end with newline", size)
+		}
+	}
+	if Text(0, 1) != nil {
+		t.Fatal("zero size should return nil")
+	}
+}
+
+func TestTextDiffersBySeed(t *testing.T) {
+	if bytes.Equal(Text(4096, 1), Text(4096, 2)) {
+		t.Fatal("different seeds produced identical text")
+	}
+}
+
+func TestTextTokenizable(t *testing.T) {
+	data := Text(10000, 7)
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		for _, w := range bytes.Fields(line) {
+			if len(w) == 0 {
+				t.Fatal("empty token")
+			}
+		}
+	}
+}
+
+func TestRecordsStructure(t *testing.T) {
+	data := Records(10_000, 100, 3)
+	if len(data) != 10_000 {
+		t.Fatalf("got %d bytes, want 10000", len(data))
+	}
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte{'\n'}), []byte{'\n'})
+	if len(lines) != 100 {
+		t.Fatalf("got %d records, want 100", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 99 {
+			t.Fatalf("record %d has %d bytes, want 99", i, len(l))
+		}
+		if tab := bytes.IndexByte(l, '\t'); tab != 10 {
+			t.Fatalf("record %d tab at %d, want 10", i, tab)
+		}
+	}
+}
+
+func TestRecordsDeterministic(t *testing.T) {
+	if !bytes.Equal(Records(5000, 50, 9), Records(5000, 50, 9)) {
+		t.Fatal("records not deterministic")
+	}
+	if bytes.Equal(Records(5000, 50, 9), Records(5000, 50, 10)) {
+		t.Fatal("records identical across seeds")
+	}
+}
+
+func TestRecordsTinySizes(t *testing.T) {
+	if Records(10, 100, 1) != nil {
+		t.Fatal("size smaller than one record should return nil")
+	}
+	if got := Records(300, 5, 1); len(got)%13 != 0 {
+		// recordLen clamps to keyLen+3 = 13.
+		t.Fatalf("clamped record length: got %d bytes", len(got))
+	}
+}

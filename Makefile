@@ -1,0 +1,25 @@
+GO ?= go
+
+# Packages whose hot paths share mutable buffers across goroutines; these run
+# under the race detector in addition to the normal suite.
+RACE_PKGS = ./internal/codeplan ./internal/workpool ./internal/matrix ./internal/carousel ./internal/blockserver
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Regenerate the coding microbenchmarks and the JSON snapshot.
+bench:
+	$(GO) run ./cmd/codingbench -json

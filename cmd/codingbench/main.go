@@ -9,7 +9,10 @@
 //
 // Usage:
 //
-//	codingbench [-fig all|5|6a|6b|7|8a|8b|ext|lrc|par|tol] [-ks 2,4,6,8,10] [-mb 16] [-trafficmb 512] [-reps 3]
+//	codingbench [-fig all|5|6a|6b|7|8a|8b|ext|lrc|par|tol] [-ks 2,4,6,8,10] [-mb 16] [-trafficmb 512] [-reps 3] [-json]
+//
+// With -json the throughput figures (6a, 6b) are also written to
+// BENCH_codingbench.json, one entry per (figure, scheme, k).
 //
 // Absolute throughput depends on the machine (the paper used ISA-L on a
 // c4.4xlarge); the comparisons across codes use identical kernels, so the
@@ -17,9 +20,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -37,6 +42,7 @@ func main() {
 	mb := flag.Int("mb", 16, "block size in MiB for throughput and timing figures")
 	trafficMB := flag.Int("trafficmb", 512, "block size in MiB that Fig. 7 traffic is reported for")
 	reps := flag.Int("reps", 3, "timed repetitions per measurement")
+	jsonOut := flag.Bool("json", false, "also write throughput results to "+jsonPath)
 	flag.Parse()
 
 	ks, err := parseKs(*ksFlag)
@@ -63,6 +69,46 @@ func main() {
 	run("lrc", func(ks []int, _, _ int) error { return lrcComparison(*trafficMB) })
 	run("par", parEncode)
 	run("tol", func([]int, int, int) error { return tolerance() })
+	if *jsonOut {
+		if err := writeJSON(*mb, *reps); err != nil {
+			fmt.Fprintln(os.Stderr, "codingbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonPath is where -json writes the machine-readable snapshot of the
+// throughput figures, one entry per (figure, scheme, k).
+const jsonPath = "BENCH_codingbench.json"
+
+type jsonEntry struct {
+	Figure string  `json:"figure"` // "6a" (encode) or "6b" (decode)
+	Scheme string  `json:"scheme"`
+	K      int     `json:"k"`
+	MBps   float64 `json:"mb_per_s"`
+}
+
+var jsonResults = []jsonEntry{} // non-nil so -json always emits an array
+
+// record stores one throughput measurement for -json and returns it, so
+// table rows can record in-line.
+func record(fig, scheme string, k int, mbps float64) float64 {
+	jsonResults = append(jsonResults, jsonEntry{Figure: fig, Scheme: scheme, K: k, MBps: mbps})
+	return mbps
+}
+
+func writeJSON(mb, reps int) error {
+	doc := struct {
+		GoMaxProcs int         `json:"gomaxprocs"`
+		BlockMiB   int         `json:"block_mib"`
+		Reps       int         `json:"reps"`
+		Results    []jsonEntry `json:"results"`
+	}{runtime.GOMAXPROCS(0), mb, reps, jsonResults}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
 }
 
 // tolerance enumerates every f-failure pattern and reports the fraction
@@ -312,10 +358,10 @@ func fig6a(ks []int, mb, reps int) error {
 		size := f.AlignBlockSize(mb << 20)
 		data := bench.RandomShards(k, size, int64(k))
 		vol := k * size
-		rs := bench.Measure(reps, vol, func() { mustB(f.RS.Encode(data)) })
-		ck := bench.Measure(reps, vol, func() { mustB(f.CarK.Encode(data)) })
-		ms := bench.Measure(reps, vol, func() { mustB(f.MSR.Encode(data)) })
-		cd := bench.Measure(reps, vol, func() { mustB(f.CarD.Encode(data)) })
+		rs := record("6a", "RS", k, bench.Measure(reps, vol, func() { mustB(f.RS.Encode(data)) }))
+		ck := record("6a", "Carousel(d=k)", k, bench.Measure(reps, vol, func() { mustB(f.CarK.Encode(data)) }))
+		ms := record("6a", "MSR(d=2k-1)", k, bench.Measure(reps, vol, func() { mustB(f.MSR.Encode(data)) }))
+		cd := record("6a", "Carousel(d=2k-1)", k, bench.Measure(reps, vol, func() { mustB(f.CarD.Encode(data)) }))
 		t.Row(k, rs, ck, ms, cd)
 	}
 	t.Flush()
@@ -358,10 +404,10 @@ func fig6b(ks []int, mb, reps int) error {
 		if err != nil {
 			return err
 		}
-		rs := bench.Measure(reps, vol, func() { mustB(f.RS.Decode(survive(rsBlocks))) })
-		ck := bench.Measure(reps, vol, func() { mustB(f.CarK.Decode(survive(ckBlocks))) })
-		ms := bench.Measure(reps, vol, func() { mustB(f.MSR.Decode(survive(msBlocks))) })
-		cd := bench.Measure(reps, vol, func() { mustB(f.CarD.Decode(survive(cdBlocks))) })
+		rs := record("6b", "RS", k, bench.Measure(reps, vol, func() { mustB(f.RS.Decode(survive(rsBlocks))) }))
+		ck := record("6b", "Carousel(d=k)", k, bench.Measure(reps, vol, func() { mustB(f.CarK.Decode(survive(ckBlocks))) }))
+		ms := record("6b", "MSR(d=2k-1)", k, bench.Measure(reps, vol, func() { mustB(f.MSR.Decode(survive(msBlocks))) }))
+		cd := record("6b", "Carousel(d=2k-1)", k, bench.Measure(reps, vol, func() { mustB(f.CarD.Decode(survive(cdBlocks))) }))
 		t.Row(k, rs, ck, ms, cd)
 	}
 	t.Flush()

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sync"
 
+	"carousel/internal/codeplan"
 	"carousel/internal/matrix"
 	"carousel/internal/msr"
 	"carousel/internal/unitplan"
@@ -82,13 +83,19 @@ type Code struct {
 	toStored [][]int
 
 	structured bool // whether the paper's structured selection was used
-	workers    int  // goroutines used by Encode (1 = serial)
+	workers    int  // executors used by Encode and Decode (1 = serial)
 
 	base *msr.Code // repair machinery for d > k; nil when d == k
 
-	mu        sync.Mutex
-	decCache  map[string]*matrix.Matrix
-	readCache map[string]*readSolver
+	// encPlan is the compiled schedule of gen, built once at construction
+	// and replayed by every Encode.
+	encPlan *codeplan.Plan
+
+	mu           sync.Mutex
+	decCache     map[string]*matrix.Matrix
+	decPlans     map[string]*codeplan.Plan // survivor set -> compiled decode schedule
+	rebuildPlans map[string]*codeplan.Plan // failed+helpers -> compiled rebuild schedule
+	readCache    map[string]*readSolver
 }
 
 // Option configures a Code at construction.
@@ -124,9 +131,11 @@ func New(n, k, d, p int, opts ...Option) (*Code, error) {
 	}
 	c := &Code{
 		n: n, k: k, d: d, p: p,
-		workers:   1,
-		decCache:  make(map[string]*matrix.Matrix),
-		readCache: make(map[string]*readSolver),
+		workers:      1,
+		decCache:     make(map[string]*matrix.Matrix),
+		decPlans:     make(map[string]*codeplan.Plan),
+		rebuildPlans: make(map[string]*codeplan.Plan),
+		readCache:    make(map[string]*readSolver),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -171,6 +180,7 @@ func New(n, k, d, p int, opts ...Option) (*Code, error) {
 	if err := c.checkSystematicRows(); err != nil {
 		return nil, err
 	}
+	c.encPlan = codeplan.Compile(c.gen)
 	return c, nil
 }
 
@@ -348,11 +358,7 @@ func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 		blocks[i] = make([]byte, size)
 		out = append(out, c.canonicalUnits(i, blocks[i])...)
 	}
-	if c.workers > 1 {
-		c.gen.ApplyToUnitsParallel(in, out, c.workers)
-	} else {
-		c.gen.ApplyToUnits(in, out)
-	}
+	c.encPlan.RunParallel(in, out, c.workers)
 	return blocks, nil
 }
 
@@ -407,7 +413,7 @@ func (c *Code) Decode(blocks [][]byte) ([][]byte, error) {
 		return nil, fmt.Errorf("%w: %d present, need %d", ErrTooFewBlocks, len(present), c.k)
 	}
 	present = present[:c.k]
-	inv, err := c.decodeMatrix(present)
+	plan, err := c.decodePlan(present)
 	if err != nil {
 		return nil, err
 	}
@@ -424,7 +430,7 @@ func (c *Code) Decode(blocks [][]byte) ([][]byte, error) {
 			out = append(out, data[i][u*usize:(u+1)*usize:(u+1)*usize])
 		}
 	}
-	inv.ApplyToUnits(in, out)
+	plan.RunParallel(in, out, c.workers)
 	return data, nil
 }
 
@@ -454,6 +460,36 @@ func (c *Code) survey(blocks [][]byte) (present []int, size int, err error) {
 		return nil, 0, err
 	}
 	return present, size, nil
+}
+
+// decodePlan returns the cached compiled decode schedule for a survivor
+// block set: the kU x kU inverse lowered to COPY/MUL/MULADD ops, so units
+// that survived verbatim are moved rather than recomputed.
+func (c *Code) decodePlan(present []int) (*codeplan.Plan, error) {
+	key := survivorKey(present)
+	c.mu.Lock()
+	if plan, ok := c.decPlans[key]; ok {
+		c.mu.Unlock()
+		return plan, nil
+	}
+	c.mu.Unlock()
+	inv, err := c.decodeMatrix(present)
+	if err != nil {
+		return nil, err
+	}
+	plan := codeplan.Compile(inv)
+	c.mu.Lock()
+	c.decPlans[key] = plan
+	c.mu.Unlock()
+	return plan, nil
+}
+
+func survivorKey(present []int) string {
+	key := make([]byte, len(present))
+	for i, b := range present {
+		key[i] = byte(b)
+	}
+	return string(key)
 }
 
 // decodeMatrix returns the cached kU x kU inverse for a survivor block set.

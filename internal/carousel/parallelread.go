@@ -3,6 +3,7 @@ package carousel
 import (
 	"fmt"
 
+	"carousel/internal/codeplan"
 	"carousel/internal/gf256"
 	"carousel/internal/matrix"
 )
@@ -172,7 +173,7 @@ type readSolver struct {
 	missing []int
 	spares  []int // replacement blocks (nil for the extended scheme)
 	rows    []readRow
-	inv     *matrix.Matrix // inverse over the unknown columns
+	plan    *codeplan.Plan // compiled inverse over the unknown columns
 	unknown []int          // global data-unit columns being solved for
 }
 
@@ -317,7 +318,7 @@ func (c *Code) solverFromEquations(missing, spares []int, unknown []int, unknown
 	if err != nil {
 		return nil, fmt.Errorf("carousel: degraded-read system for missing %v: %w", missing, err)
 	}
-	return &readSolver{missing: missing, spares: spares, rows: rows, inv: inv, unknown: unknown}, nil
+	return &readSolver{missing: missing, spares: spares, rows: rows, plan: codeplan.Compile(inv), unknown: unknown}, nil
 }
 
 // solve fills the unknown data ranges of out. The known data prefixes must
@@ -339,5 +340,5 @@ func (s *readSolver) solve(c *Code, blocks [][]byte, out []byte, usize int) {
 	for i, col := range s.unknown {
 		dst[i] = out[col*usize : (col+1)*usize : (col+1)*usize]
 	}
-	s.inv.ApplyToUnits(rhs, dst)
+	s.plan.RunParallel(rhs, dst, c.workers)
 }

@@ -3,6 +3,7 @@ package carousel
 import (
 	"fmt"
 
+	"carousel/internal/codeplan"
 	"carousel/internal/matrix"
 )
 
@@ -92,7 +93,7 @@ func (c *Code) RepairBlock(failed int, helpers []int, chunks [][]byte) ([]byte, 
 		return nil, err
 	}
 	usize := blockSize / c.units
-	comb, err := c.base.RepairCombiner(failed, helpers)
+	comb, err := c.base.RepairCombinerPlan(failed, helpers)
 	if err != nil {
 		return nil, err
 	}
@@ -107,19 +108,47 @@ func (c *Code) RepairBlock(failed int, helpers []int, chunks [][]byte) ([]byte, 
 		for s := 0; s < c.alpha; s++ {
 			outs[s] = canon[s*c.expand+t]
 		}
-		comb.ApplyToUnits(in, outs)
+		comb.Run(in, outs)
 	}
 	return block, nil
 }
 
 // repairFromBlocks rebuilds the failed block from k full helper blocks
 // (the d == k path): decode the data units, then apply the failed block's
-// generator rows.
+// generator rows. The fused rebuild matrix (generator rows x inverse) is
+// compiled to a plan cached per (failed, helper set).
 func (c *Code) repairFromBlocks(failed int, helpers []int, blocks [][]byte) ([]byte, error) {
 	size := len(blocks[0])
 	if err := c.checkBlockSize(size); err != nil {
 		return nil, err
 	}
+	plan, err := c.rebuildPlan(failed, helpers)
+	if err != nil {
+		return nil, err
+	}
+	in := make([][]byte, 0, c.k*c.units)
+	for i, h := range helpers {
+		in = append(in, c.canonicalUnits(h, blocks[i])...)
+	}
+	block := make([]byte, size)
+	plan.RunParallel(in, c.canonicalUnits(failed, block), c.workers)
+	return block, nil
+}
+
+// rebuildPlan returns the cached compiled schedule rebuilding the failed
+// block's units from the units of the given helper blocks.
+func (c *Code) rebuildPlan(failed int, helpers []int) (*codeplan.Plan, error) {
+	key := make([]byte, 0, len(helpers)+1)
+	key = append(key, byte(failed))
+	for _, h := range helpers {
+		key = append(key, byte(h))
+	}
+	c.mu.Lock()
+	if plan, ok := c.rebuildPlans[string(key)]; ok {
+		c.mu.Unlock()
+		return plan, nil
+	}
+	c.mu.Unlock()
 	inv, err := c.decodeMatrix(append([]int(nil), helpers...))
 	if err != nil {
 		return nil, err
@@ -128,14 +157,11 @@ func (c *Code) repairFromBlocks(failed int, helpers []int, blocks [][]byte) ([]b
 	for u := 0; u < c.units; u++ {
 		failedRows[u] = failed*c.units + u
 	}
-	rebuild := c.gen.SelectRows(failedRows).Mul(inv)
-	in := make([][]byte, 0, c.k*c.units)
-	for i, h := range helpers {
-		in = append(in, c.canonicalUnits(h, blocks[i])...)
-	}
-	block := make([]byte, size)
-	rebuild.ApplyToUnits(in, c.canonicalUnits(failed, block))
-	return block, nil
+	plan := codeplan.Compile(c.gen.SelectRows(failedRows).Mul(inv))
+	c.mu.Lock()
+	c.rebuildPlans[string(key)] = plan
+	c.mu.Unlock()
+	return plan, nil
 }
 
 // Repair runs both sides of a reconstruction in one call: helper chunks are

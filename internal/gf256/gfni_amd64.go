@@ -1,0 +1,110 @@
+//go:build amd64
+
+package gf256
+
+// SIMD kernels for amd64. GF2P8AFFINEQB applies an arbitrary 8x8 bit-matrix
+// over GF(2) to every byte of a vector, which expresses multiplication by a
+// fixed field element in any GF(2^8) polynomial basis — including this
+// package's 0x11d — 64 bytes per instruction in a ZMM register. The kernels
+// are gated at startup on CPUID (GFNI + AVX-512F) and on the OS having
+// enabled ZMM state via XCR0; everywhere else the pure-Go table loops in
+// gf256.go run unchanged.
+
+// Implemented in gfni_amd64.s.
+func cpuidx(op, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+func gfniMulAsm(mat uint64, dst, src *byte, n int)
+func gfniMulAddAsm(mat uint64, dst, src *byte, n int)
+func xorAsm(dst, src *byte, n int)
+
+var useGFNI = detectGFNI()
+
+func detectGFNI() bool {
+	maxID, _, _, _ := cpuidx(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidx(1, 0)
+	const osxsave = 1 << 27
+	if c1&osxsave == 0 {
+		return false
+	}
+	// The OS must context-switch XMM, YMM, opmask, and both ZMM state
+	// components, or executing an EVEX instruction faults.
+	xlo, _ := xgetbv()
+	if xlo&0xe6 != 0xe6 {
+		return false
+	}
+	_, b7, c7, _ := cpuidx(7, 0)
+	const avx512f = 1 << 16
+	const gfni = 1 << 8
+	return b7&avx512f != 0 && c7&gfni != 0
+}
+
+// gfniMatrices[c] is the 8x8 GF(2) matrix computing y = c*x in the 0x11d
+// basis, packed the way GF2P8AFFINEQB expects: byte 7-i of the qword is row
+// i, and bit j of row i is bit i of c*x^j. The table is built from the
+// polynomial directly (not from mulTable) so it has no initialization-order
+// dependency on the exp/log tables.
+var gfniMatrices = buildGFNIMatrices()
+
+func buildGFNIMatrices() *[256]uint64 {
+	var t [256]uint64
+	for c := 0; c < 256; c++ {
+		// col[j] = c * x^j mod the field polynomial.
+		var col [8]byte
+		p := byte(c)
+		for j := 0; j < 8; j++ {
+			col[j] = p
+			carry := p&0x80 != 0
+			p <<= 1
+			if carry {
+				p ^= byte(polynomial & 0xff)
+			}
+		}
+		var m uint64
+		for i := 0; i < 8; i++ {
+			var row byte
+			for j := 0; j < 8; j++ {
+				row |= (col[j] >> i & 1) << j
+			}
+			m |= uint64(row) << ((7 - i) * 8)
+		}
+		t[c] = m
+	}
+	return &t
+}
+
+// mulSliceAsm computes out[i] = c*in[i] for the longest 64-byte-multiple
+// prefix and returns its length; the caller finishes the tail. Returns 0
+// when the kernel is unavailable, leaving the pure-Go path to do all work.
+func mulSliceAsm(c byte, in, out []byte) int {
+	n := len(in) &^ 63
+	if n == 0 || !useGFNI {
+		return 0
+	}
+	gfniMulAsm(gfniMatrices[c], &out[0], &in[0], n)
+	return n
+}
+
+// mulAddSliceAsm computes out[i] ^= c*in[i] for the longest 64-byte-multiple
+// prefix and returns its length.
+func mulAddSliceAsm(c byte, in, out []byte) int {
+	n := len(in) &^ 63
+	if n == 0 || !useGFNI {
+		return 0
+	}
+	gfniMulAddAsm(gfniMatrices[c], &out[0], &in[0], n)
+	return n
+}
+
+// addSliceAsm computes out[i] ^= in[i] for the longest 64-byte-multiple
+// prefix and returns its length.
+func addSliceAsm(in, out []byte) int {
+	n := len(in) &^ 63
+	if n == 0 || !useGFNI {
+		return 0
+	}
+	xorAsm(&out[0], &in[0], n)
+	return n
+}

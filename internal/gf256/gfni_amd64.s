@@ -1,0 +1,79 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidx(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidx(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	MOVL $0, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func gfniMulAsm(mat uint64, dst, src *byte, n int)
+// dst[i] = M*src[i] byte-wise for i in [0, n); n > 0 and n % 64 == 0.
+TEXT ·gfniMulAsm(SB), NOSPLIT, $0-32
+	VPBROADCASTQ mat+0(FP), Z1
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+
+mulloop:
+	VMOVDQU64      (SI), Z2
+	VGF2P8AFFINEQB $0, Z1, Z2, Z2
+	VMOVDQU64      Z2, (DI)
+	ADDQ           $64, SI
+	ADDQ           $64, DI
+	SUBQ           $64, CX
+	JNZ            mulloop
+	VZEROUPPER
+	RET
+
+// func gfniMulAddAsm(mat uint64, dst, src *byte, n int)
+// dst[i] ^= M*src[i] byte-wise for i in [0, n); n > 0 and n % 64 == 0.
+TEXT ·gfniMulAddAsm(SB), NOSPLIT, $0-32
+	VPBROADCASTQ mat+0(FP), Z1
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), SI
+	MOVQ n+24(FP), CX
+
+muladdloop:
+	VMOVDQU64      (SI), Z2
+	VGF2P8AFFINEQB $0, Z1, Z2, Z2
+	VPXORQ         (DI), Z2, Z2
+	VMOVDQU64      Z2, (DI)
+	ADDQ           $64, SI
+	ADDQ           $64, DI
+	SUBQ           $64, CX
+	JNZ            muladdloop
+	VZEROUPPER
+	RET
+
+// func xorAsm(dst, src *byte, n int)
+// dst[i] ^= src[i] for i in [0, n); n > 0 and n % 64 == 0.
+TEXT ·xorAsm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+xorloop:
+	VMOVDQU64 (SI), Z2
+	VPXORQ    (DI), Z2, Z2
+	VMOVDQU64 Z2, (DI)
+	ADDQ      $64, SI
+	ADDQ      $64, DI
+	SUBQ      $64, CX
+	JNZ       xorloop
+	VZEROUPPER
+	RET

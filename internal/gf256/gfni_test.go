@@ -1,0 +1,123 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refMul is the trivially-correct reference the SIMD and table kernels are
+// checked against.
+func refMul(c byte, in []byte) []byte {
+	out := make([]byte, len(in))
+	for i, v := range in {
+		out[i] = mulTable[c][v]
+	}
+	return out
+}
+
+// kernelSizes crosses the 64-byte SIMD width and the 8-byte unroll in every
+// combination: empty, sub-width, exact multiples, and ragged tails.
+var kernelSizes = []int{0, 1, 7, 8, 31, 63, 64, 65, 127, 128, 200, 4096, 4097}
+
+func TestMulSliceMatchesReference(t *testing.T) {
+	if useGFNI {
+		t.Log("GFNI kernels active")
+	} else {
+		t.Log("GFNI kernels inactive; exercising portable path only")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range kernelSizes {
+		in := make([]byte, n)
+		rng.Read(in)
+		for c := 0; c < 256; c++ {
+			want := refMul(byte(c), in)
+			out := make([]byte, n)
+			MulSlice(byte(c), in, out)
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("MulSlice(%d) n=%d: byte %d = %#x, want %#x", c, n, i, out[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMulAddSliceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range kernelSizes {
+		in := make([]byte, n)
+		acc := make([]byte, n)
+		rng.Read(in)
+		rng.Read(acc)
+		for c := 0; c < 256; c++ {
+			prod := refMul(byte(c), in)
+			want := make([]byte, n)
+			out := make([]byte, n)
+			copy(out, acc)
+			for i := range want {
+				want[i] = acc[i] ^ prod[i]
+			}
+			MulAddSlice(byte(c), in, out)
+			for i := range out {
+				if out[i] != want[i] {
+					t.Fatalf("MulAddSlice(%d) n=%d: byte %d = %#x, want %#x", c, n, i, out[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAddSliceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range kernelSizes {
+		in := make([]byte, n)
+		acc := make([]byte, n)
+		rng.Read(in)
+		rng.Read(acc)
+		out := make([]byte, n)
+		copy(out, acc)
+		AddSlice(in, out)
+		for i := range out {
+			if out[i] != acc[i]^in[i] {
+				t.Fatalf("AddSlice n=%d: byte %d = %#x, want %#x", n, i, out[i], acc[i]^in[i])
+			}
+		}
+	}
+}
+
+// TestMulSliceKernelInPlace checks the documented in == out aliasing case
+// through the SIMD dispatch.
+func TestMulSliceKernelInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	buf := make([]byte, 200)
+	rng.Read(buf)
+	want := refMul(0x8e, buf)
+	MulSlice(0x8e, buf, buf)
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Fatalf("in-place MulSlice: byte %d = %#x, want %#x", i, buf[i], want[i])
+		}
+	}
+}
+
+func BenchmarkMulAddSlice1MiB(b *testing.B) {
+	in := make([]byte, 1<<20)
+	out := make([]byte, 1<<20)
+	rand.New(rand.NewSource(5)).Read(in)
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x8e, in, out)
+	}
+}
+
+func BenchmarkAddSlice1MiB(b *testing.B) {
+	in := make([]byte, 1<<20)
+	out := make([]byte, 1<<20)
+	rand.New(rand.NewSource(6)).Read(in)
+	b.SetBytes(int64(len(in)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddSlice(in, out)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 
+	"carousel/internal/codeplan"
 	"carousel/internal/gf256"
 	"carousel/internal/matrix"
 )
@@ -49,8 +50,12 @@ type Code struct {
 	groupSize int
 	gen       *matrix.Matrix // (k+l+g) x k
 
+	// encPlan is gen compiled to an op schedule, replayed by every Encode.
+	encPlan *codeplan.Plan
+
 	mu       sync.Mutex
 	decCache map[string]*matrix.Matrix
+	decPlans map[string]*codeplan.Plan
 }
 
 // New constructs an LRC(k, l, g) code. l must divide k; g >= 1.
@@ -64,7 +69,11 @@ func New(k, l, g int) (*Code, error) {
 	if k+l+g > 256 {
 		return nil, fmt.Errorf("lrc: n=%d exceeds GF(256) capacity", k+l+g)
 	}
-	c := &Code{k: k, l: l, g: g, groupSize: k / l, decCache: make(map[string]*matrix.Matrix)}
+	c := &Code{
+		k: k, l: l, g: g, groupSize: k / l,
+		decCache: make(map[string]*matrix.Matrix),
+		decPlans: make(map[string]*codeplan.Plan),
+	}
 	n := k + l + g
 	gen := matrix.New(n, k)
 	for i := 0; i < k; i++ {
@@ -87,6 +96,7 @@ func New(k, l, g int) (*Code, error) {
 		}
 	}
 	c.gen = gen
+	c.encPlan = codeplan.Compile(gen)
 	return c, nil
 }
 
@@ -146,7 +156,7 @@ func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 	for i := range out {
 		out[i] = make([]byte, size)
 	}
-	c.gen.ApplyToUnits(data, out)
+	c.encPlan.Run(data, out)
 	return out, nil
 }
 
@@ -213,7 +223,7 @@ func (c *Code) Decode(blocks [][]byte) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	inv, err := c.decodeMatrix(rows)
+	plan, err := c.decodePlan(rows)
 	if err != nil {
 		return nil, err
 	}
@@ -225,8 +235,32 @@ func (c *Code) Decode(blocks [][]byte) ([][]byte, error) {
 	for i := range out {
 		out[i] = make([]byte, size)
 	}
-	inv.ApplyToUnits(in, out)
+	plan.Run(in, out)
 	return out, nil
+}
+
+// decodePlan returns the cached compiled decode schedule for the selected
+// survivor rows.
+func (c *Code) decodePlan(rows []int) (*codeplan.Plan, error) {
+	key := make([]byte, len(rows))
+	for i, r := range rows {
+		key[i] = byte(r)
+	}
+	c.mu.Lock()
+	if plan, ok := c.decPlans[string(key)]; ok {
+		c.mu.Unlock()
+		return plan, nil
+	}
+	c.mu.Unlock()
+	inv, err := c.decodeMatrix(rows)
+	if err != nil {
+		return nil, err
+	}
+	plan := codeplan.Compile(inv)
+	c.mu.Lock()
+	c.decPlans[string(key)] = plan
+	c.mu.Unlock()
+	return plan, nil
 }
 
 // independentRows selects k available block indices whose generator rows

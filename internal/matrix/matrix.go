@@ -12,9 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
 
 	"carousel/internal/gf256"
+	"carousel/internal/workpool"
 )
 
 // ErrSingular is returned when an inversion or solve is attempted on a
@@ -520,9 +520,13 @@ func (m *Matrix) ApplyToUnitsDense(in, out [][]byte) {
 }
 
 // ApplyToUnitsParallel is ApplyToUnits with the unit buffers divided into
-// byte ranges processed by the given number of goroutines. Rows are
+// byte ranges striped across the shared bounded worker pool
+// (internal/workpool); at most `workers` byte ranges execute concurrently
+// and no goroutines are spawned beyond the fixed pool. Rows are
 // independent per byte offset, so splitting along the buffer is safe.
-// workers <= 1 falls back to the serial path.
+// workers <= 1 falls back to the serial path. New code should prefer
+// compiling the matrix with internal/codeplan; this entry point is kept
+// as a thin shim for API compatibility.
 func (m *Matrix) ApplyToUnitsParallel(in, out [][]byte, workers int) {
 	if workers <= 1 || len(in) == 0 || len(in[0]) < 4096 {
 		m.ApplyToUnits(in, out)
@@ -532,27 +536,40 @@ func (m *Matrix) ApplyToUnitsParallel(in, out [][]byte, workers int) {
 	chunk := (size + workers - 1) / workers
 	// Align chunks to 64 bytes to keep the inner loops on full strides.
 	chunk = (chunk + 63) / 64 * 64
-	var wg sync.WaitGroup
-	for lo := 0; lo < size; lo += chunk {
+	chunks := (size + chunk - 1) / chunk
+	workpool.Parallel(chunks, workers, func(ci int) {
+		lo := ci * chunk
 		hi := lo + chunk
 		if hi > size {
 			hi = size
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			subIn := make([][]byte, len(in))
-			for i, b := range in {
-				subIn[i] = b[lo:hi]
+		m.applyRange(in, out, lo, hi)
+	})
+}
+
+// applyRange is ApplyToUnits restricted to the byte range [lo, hi) of
+// every buffer, slicing in place so the parallel path allocates nothing
+// per chunk.
+func (m *Matrix) applyRange(in, out [][]byte, lo, hi int) {
+	for r := 0; r < m.rows; r++ {
+		row := m.Row(r)
+		dst := out[r][lo:hi]
+		first := true
+		for c, coef := range row {
+			if coef == 0 {
+				continue
 			}
-			subOut := make([][]byte, len(out))
-			for i, b := range out {
-				subOut[i] = b[lo:hi]
+			if first {
+				gf256.MulSlice(coef, in[c][lo:hi], dst)
+				first = false
+			} else {
+				gf256.MulAddSlice(coef, in[c][lo:hi], dst)
 			}
-			m.ApplyToUnits(subIn, subOut)
-		}(lo, hi)
+		}
+		if first {
+			clear(dst)
+		}
 	}
-	wg.Wait()
 }
 
 // ApplyRowToUnits computes a single output unit out = sum_c row[c]*in[c].

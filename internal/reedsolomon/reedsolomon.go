@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 
+	"carousel/internal/codeplan"
 	"carousel/internal/matrix"
 )
 
@@ -39,8 +40,15 @@ type Code struct {
 	n, k int
 	gen  *matrix.Matrix // n x k, top k rows identity
 
-	mu       sync.Mutex
-	decCache map[string]*matrix.Matrix // survivor-set -> inverse
+	// encPlan/parityPlan are the compiled schedules of gen and of its
+	// parity rows, built once and replayed by Encode/EncodeInto.
+	encPlan    *codeplan.Plan
+	parityPlan *codeplan.Plan
+
+	mu           sync.Mutex
+	decCache     map[string]*matrix.Matrix // survivor-set -> inverse
+	decPlans     map[string]*codeplan.Plan // survivor-set -> compiled decode schedule
+	rebuildPlans map[string]*codeplan.Plan // survivor+missing -> compiled rebuild schedule
 }
 
 // New returns a systematic (n, k) Reed-Solomon code.
@@ -55,7 +63,14 @@ func New(n, k int) (*Code, error) {
 	if err != nil {
 		return nil, fmt.Errorf("reedsolomon: building generator: %w", err)
 	}
-	return &Code{n: n, k: k, gen: gen, decCache: make(map[string]*matrix.Matrix)}, nil
+	return &Code{
+		n: n, k: k, gen: gen,
+		encPlan:      codeplan.Compile(gen),
+		parityPlan:   codeplan.Compile(gen.SubMatrix(k, n, 0, k)),
+		decCache:     make(map[string]*matrix.Matrix),
+		decPlans:     make(map[string]*codeplan.Plan),
+		rebuildPlans: make(map[string]*codeplan.Plan),
+	}, nil
 }
 
 // N returns the total number of blocks per stripe.
@@ -82,7 +97,7 @@ func (c *Code) Encode(data [][]byte) ([][]byte, error) {
 	for i := range out {
 		out[i] = make([]byte, size)
 	}
-	c.gen.ApplyToUnits(data, out)
+	c.encPlan.Run(data, out)
 	return out, nil
 }
 
@@ -105,8 +120,7 @@ func (c *Code) EncodeInto(data, parity [][]byte) error {
 			return fmt.Errorf("%w: parity block %d has %d bytes, want %d", ErrBlockSizeMismatch, i, len(p), size)
 		}
 	}
-	parityGen := c.gen.SubMatrix(c.k, c.n, 0, c.k)
-	parityGen.ApplyToUnits(data, parity)
+	c.parityPlan.Run(data, parity)
 	return nil
 }
 
@@ -137,7 +151,7 @@ func (c *Code) Reconstruct(blocks [][]byte) error {
 		return fmt.Errorf("%w: %d present, need %d", ErrTooFewBlocks, len(present), c.k)
 	}
 	present = present[:c.k]
-	inv, err := c.decodeMatrix(present)
+	plan, err := c.rebuildPlan(present, missing)
 	if err != nil {
 		return err
 	}
@@ -145,17 +159,41 @@ func (c *Code) Reconstruct(blocks [][]byte) error {
 	for i, idx := range present {
 		in[i] = blocks[idx]
 	}
-	// Rebuild each missing block as (generator row) * inv * survivors.
-	rows := make([]int, len(missing))
-	copy(rows, missing)
-	rebuild := c.gen.SelectRows(rows).Mul(inv)
 	out := make([][]byte, len(missing))
 	for i, idx := range missing {
 		blocks[idx] = make([]byte, size)
 		out[i] = blocks[idx]
 	}
-	rebuild.ApplyToUnits(in, out)
+	plan.Run(in, out)
 	return nil
+}
+
+// rebuildPlan returns the cached compiled schedule rebuilding the missing
+// blocks as (generator rows) * inverse * survivors.
+func (c *Code) rebuildPlan(present, missing []int) (*codeplan.Plan, error) {
+	key := make([]byte, 0, len(present)+len(missing)+1)
+	for _, p := range present {
+		key = append(key, byte(p))
+	}
+	key = append(key, 0xff)
+	for _, m := range missing {
+		key = append(key, byte(m))
+	}
+	c.mu.Lock()
+	if plan, ok := c.rebuildPlans[string(key)]; ok {
+		c.mu.Unlock()
+		return plan, nil
+	}
+	c.mu.Unlock()
+	inv, err := c.decodeMatrix(present)
+	if err != nil {
+		return nil, err
+	}
+	plan := codeplan.Compile(c.gen.SelectRows(missing).Mul(inv))
+	c.mu.Lock()
+	c.rebuildPlans[string(key)] = plan
+	c.mu.Unlock()
+	return plan, nil
 }
 
 // Decode returns the k data blocks from any k or more available blocks.
@@ -191,7 +229,7 @@ func (c *Code) Decode(blocks [][]byte) ([][]byte, error) {
 		return nil, fmt.Errorf("%w: %d present, need %d", ErrTooFewBlocks, len(present), c.k)
 	}
 	present = present[:c.k]
-	inv, err := c.decodeMatrix(present)
+	plan, err := c.decodePlan(present)
 	if err != nil {
 		return nil, err
 	}
@@ -203,8 +241,32 @@ func (c *Code) Decode(blocks [][]byte) ([][]byte, error) {
 	for i := range out {
 		out[i] = make([]byte, size)
 	}
-	inv.ApplyToUnits(in, out)
+	plan.Run(in, out)
 	return out, nil
+}
+
+// decodePlan returns the cached compiled decode schedule for a survivor
+// set: surviving data blocks become COPY ops, lost ones MUL/MULADD chains.
+func (c *Code) decodePlan(present []int) (*codeplan.Plan, error) {
+	key := make([]byte, len(present))
+	for i, p := range present {
+		key[i] = byte(p)
+	}
+	c.mu.Lock()
+	if plan, ok := c.decPlans[string(key)]; ok {
+		c.mu.Unlock()
+		return plan, nil
+	}
+	c.mu.Unlock()
+	inv, err := c.decodeMatrix(present)
+	if err != nil {
+		return nil, err
+	}
+	plan := codeplan.Compile(inv)
+	c.mu.Lock()
+	c.decPlans[string(key)] = plan
+	c.mu.Unlock()
+	return plan, nil
 }
 
 // Verify checks that the parity blocks are consistent with the data blocks.

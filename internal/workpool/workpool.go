@@ -1,0 +1,107 @@
+// Package workpool provides the shared, bounded worker pool behind every
+// parallel GF(2^8) hot path in this repository (codeplan execution,
+// matrix.ApplyToUnitsParallel). The pool holds exactly GOMAXPROCS
+// goroutines, started lazily on first use; callers never spawn goroutines
+// of their own, so total fan-out stays bounded no matter how many codecs
+// or stripes run concurrently.
+//
+// The scheduling unit is a run descriptor (recycled through a sync.Pool)
+// holding an atomic task cursor: the calling goroutine and up to workers-1
+// pool goroutines race down the same index sequence, so work is balanced
+// without per-task channel traffic or per-task allocations. Submission is
+// non-blocking — when the pool is saturated the caller simply executes the
+// tasks itself — which makes nested Parallel calls deadlock-free by
+// construction.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	startOnce sync.Once
+	submit    chan *run
+)
+
+// start launches the fixed pool: GOMAXPROCS goroutines draining a small
+// submission queue. Workers never block while holding a run, so every
+// accepted run terminates.
+func start() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	submit = make(chan *run, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for r := range submit {
+				r.drain()
+				r.wg.Done()
+			}
+		}()
+	}
+}
+
+// run is one Parallel invocation: a task cursor shared by the caller and
+// the helper workers. Descriptors are recycled via runPool.
+type run struct {
+	next atomic.Int64
+	n    int64
+	fn   func(int)
+	wg   sync.WaitGroup
+}
+
+var runPool = sync.Pool{New: func() any { return new(run) }}
+
+// drain executes tasks until the cursor passes n.
+func (r *run) drain() {
+	for {
+		i := r.next.Add(1) - 1
+		if i >= r.n {
+			return
+		}
+		r.fn(int(i))
+	}
+}
+
+// Parallel executes fn(0), ..., fn(n-1) using at most workers concurrent
+// executors: the calling goroutine plus up to workers-1 goroutines of the
+// shared pool. It returns when every task has finished. fn must be safe
+// for concurrent invocation with distinct arguments. workers <= 1 (or
+// n <= 1) runs everything on the caller.
+func Parallel(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	startOnce.Do(start)
+	r := runPool.Get().(*run)
+	r.next.Store(0)
+	r.n = int64(n)
+	r.fn = fn
+offer:
+	for i := 0; i < workers-1; i++ {
+		r.wg.Add(1)
+		select {
+		case submit <- r:
+		default:
+			// Pool saturated: the caller will cover the remaining tasks.
+			r.wg.Done()
+			break offer
+		}
+	}
+	r.drain()
+	r.wg.Wait()
+	r.fn = nil
+	runPool.Put(r)
+}

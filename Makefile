@@ -2,9 +2,13 @@ GO ?= go
 
 # Packages whose hot paths share mutable buffers across goroutines; these run
 # under the race detector in addition to the normal suite.
-RACE_PKGS = ./internal/codeplan ./internal/workpool ./internal/matrix ./internal/carousel ./internal/blockserver
+RACE_PKGS = ./internal/codeplan ./internal/workpool ./internal/matrix ./internal/carousel ./internal/blockserver ./internal/faultnet ./internal/dfs ./internal/retry
 
-.PHONY: check vet build test race bench
+# Packages on the fault-tolerant block path: run twice under the race
+# detector to shake out order-dependent leaks and redial races.
+FAULT_PKGS = ./internal/blockserver ./internal/dfs ./internal/faultnet
+
+.PHONY: check vet build test race faults bench
 
 check: vet build test race
 
@@ -19,6 +23,11 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Exercise the fault matrix: injected stragglers, partitions, corruption,
+# and crash-mid-read over real TCP, twice, race-enabled.
+faults:
+	$(GO) test -race -count=2 $(FAULT_PKGS)
 
 # Regenerate the coding microbenchmarks and the JSON snapshot.
 bench:

@@ -2,6 +2,7 @@ package carousel_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -212,10 +213,11 @@ func TestFacadeBlockServerAndGrep(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Put("x", []byte("payload")); err != nil {
+	ctx := context.Background()
+	if err := c.Put(ctx, "x", []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("x")
+	got, err := c.Get(ctx, "x")
 	if err != nil || string(got) != "payload" {
 		t.Fatalf("Get = %q, %v", got, err)
 	}

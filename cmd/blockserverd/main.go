@@ -4,19 +4,34 @@
 // make a minimal deployed Carousel store; examples/tcpcluster drives the
 // same flow in-process.
 //
+// The -fault-* flags interpose the faultnet injection harness between the
+// socket and the protocol, so a deployed cluster can be exercised under
+// the same straggler/partition/corruption faults the test matrix uses:
+//
+//	blockserverd -fault-delay 250ms        # straggler: delay every write
+//	blockserverd -fault-blackhole          # accept, then never respond
+//	blockserverd -fault-corrupt            # flip a bit in payload writes
+//	blockserverd -fault-cut-after 1048576  # drop conns after 1 MiB
+//	blockserverd -fault-partition 10.0.0.7 # reject conns from a peer
+//
 // Usage:
 //
-//	blockserverd [-addr 127.0.0.1:7070] [-n 12 -k 6 -d 10 -p 12]
+//	blockserverd [-addr 127.0.0.1:7070] [-n 12 -k 6 -d 10 -p 12] [-fault-...]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"carousel/internal/blockserver"
 	"carousel/internal/carousel"
+	"carousel/internal/faultnet"
 )
 
 func main() {
@@ -25,6 +40,11 @@ func main() {
 	k := flag.Int("k", 6, "data blocks' worth of content per stripe")
 	d := flag.Int("d", 10, "repair helpers")
 	p := flag.Int("p", 12, "data parallelism")
+	faultDelay := flag.Duration("fault-delay", 0, "inject: delay every response write (straggler)")
+	faultBlackhole := flag.Bool("fault-blackhole", false, "inject: accept connections but never respond")
+	faultCorrupt := flag.Bool("fault-corrupt", false, "inject: flip one bit in every payload write")
+	faultCutAfter := flag.Int64("fault-cut-after", 0, "inject: cut each connection after this many bytes written")
+	faultPartition := flag.String("fault-partition", "", "inject: comma-separated peer hosts whose connections are rejected")
 	flag.Parse()
 
 	code, err := carousel.New(*n, *k, *d, *p)
@@ -33,19 +53,56 @@ func main() {
 		os.Exit(1)
 	}
 	srv := blockserver.NewServer(code)
-	bound, err := srv.Start(*addr)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blockserverd:", err)
+		os.Exit(1)
+	}
+	policy := faultnet.Policy{
+		DelayWrite:    *faultDelay,
+		Blackhole:     *faultBlackhole,
+		CorruptWrites: *faultCorrupt,
+		CutAfterBytes: *faultCutAfter,
+	}
+	injected := policy != (faultnet.Policy{}) || *faultPartition != ""
+	if injected {
+		in := faultnet.NewInjector()
+		in.SetDefault(policy)
+		for _, host := range strings.Split(*faultPartition, ",") {
+			if host = strings.TrimSpace(host); host != "" {
+				in.SetPeer(host, faultnet.Policy{RejectConn: true})
+			}
+		}
+		ln = in.Wrap(ln)
+	}
+	bound, err := srv.StartListener(ln)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blockserverd:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("blockserverd: serving carousel(%d,%d,%d,%d) blocks on %s\n", *n, *k, *d, *p, bound)
+	if injected {
+		fmt.Printf("blockserverd: FAULT INJECTION ACTIVE: delay=%v blackhole=%v corrupt=%v cut-after=%d partition=%q\n",
+			*faultDelay, *faultBlackhole, *faultCorrupt, *faultCutAfter, *faultPartition)
+	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("blockserverd: shutting down")
-	if err := srv.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "blockserverd:", err)
+	// Close stops accepting, cancels in-flight connections, and joins
+	// every handler; bound it so a wedged socket cannot hang shutdown.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blockserverd:", err)
+			os.Exit(1)
+		}
+	case <-time.After(10 * time.Second):
+		fmt.Fprintln(os.Stderr, "blockserverd: shutdown timed out")
 		os.Exit(1)
 	}
 }

@@ -19,11 +19,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"carousel/internal/blockserver"
 	"carousel/internal/carousel"
 	"carousel/internal/reedsolomon"
 )
@@ -57,7 +59,42 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carouselctl:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// Exit codes, distinguishable by callers and scripts. Usage errors exit 2
+// (flag package convention); sentinel failures from the block path get
+// their own codes so a wrapper can tell "file is gone" from "file is
+// rotting" from "cluster is slow".
+const (
+	exitFailure         = 1
+	exitUsage           = 2
+	exitNotFound        = 3
+	exitCorrupt         = 4
+	exitTimeout         = 5
+	exitTooFewSurvivors = 6
+)
+
+// exitCode maps an error to the process exit code via errors.Is, so
+// wrapped and joined errors classify the same as bare sentinels. Order
+// matters: corruption and survivor shortfalls are more specific (and more
+// actionable) than the timeouts that often accompany them.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, blockserver.ErrCorrupt):
+		return exitCorrupt
+	case errors.Is(err, blockserver.ErrTooFewSurvivors),
+		errors.Is(err, carousel.ErrTooFewBlocks):
+		return exitTooFewSurvivors
+	case errors.Is(err, blockserver.ErrNotFound), errors.Is(err, os.ErrNotExist):
+		return exitNotFound
+	case errors.Is(err, blockserver.ErrTimeout):
+		return exitTimeout
+	default:
+		return exitFailure
 	}
 }
 
@@ -96,7 +133,8 @@ func cmdVerify(args []string) error {
 		}
 	}
 	if len(avail) < m.K {
-		return fmt.Errorf("only %d blocks present, need %d to verify", len(avail), m.K)
+		return fmt.Errorf("%w: only %d blocks present, need %d to verify",
+			blockserver.ErrTooFewSurvivors, len(avail), m.K)
 	}
 	// A corrupt block poisons any decode that uses it, so try k-subsets in
 	// rotation and keep the reference that disagrees with the fewest
@@ -132,7 +170,7 @@ func cmdVerify(args []string) error {
 		}
 	}
 	if best < 0 {
-		return fmt.Errorf("no decodable k-subset found")
+		return fmt.Errorf("%w: no decodable k-subset found", blockserver.ErrCorrupt)
 	}
 	for i, ok := range present {
 		switch {
@@ -143,7 +181,8 @@ func cmdVerify(args []string) error {
 		}
 	}
 	if best > 0 {
-		return fmt.Errorf("%d corrupt block(s); regenerate them with `carouselctl repair`", best)
+		return fmt.Errorf("%w: %d corrupt block(s); regenerate them with `carouselctl repair`",
+			blockserver.ErrCorrupt, best)
 	}
 	fmt.Println("all present blocks verify")
 	return nil
@@ -354,7 +393,8 @@ func cmdRepair(args []string) error {
 		}
 	}
 	if len(helpers) < m.D {
-		return fmt.Errorf("only %d surviving blocks, need d=%d helpers", len(helpers), m.D)
+		return fmt.Errorf("%w: only %d surviving blocks, need d=%d helpers",
+			blockserver.ErrTooFewSurvivors, len(helpers), m.D)
 	}
 	chunks := make([][]byte, len(helpers))
 	traffic := 0

@@ -2,10 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"carousel/internal/blockserver"
+	"carousel/internal/carousel"
 )
 
 // writeInput creates a temporary input file and returns its path plus the
@@ -68,8 +74,12 @@ func TestDecodeWithMissingBlocks(t *testing.T) {
 	if err := os.Remove(blockPath(outDir, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdDecode([]string{outDir, output}); err == nil {
+	err = cmdDecode([]string{outDir, output})
+	if err == nil {
 		t.Fatal("decode beyond the failure budget did not error")
+	}
+	if got := exitCode(err); got != exitTooFewSurvivors {
+		t.Fatalf("decode beyond budget: exit %d (%v), want %d", got, err, exitTooFewSurvivors)
 	}
 }
 
@@ -115,8 +125,15 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 	if err := os.WriteFile(path, b, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdVerify([]string{outDir}); err == nil {
+	err = cmdVerify([]string{outDir})
+	if err == nil {
 		t.Fatal("verify accepted a corrupted block")
+	}
+	if !errors.Is(err, blockserver.ErrCorrupt) {
+		t.Fatalf("verify error %v is not ErrCorrupt", err)
+	}
+	if got := exitCode(err); got != exitCorrupt {
+		t.Fatalf("corrupt verify: exit %d, want %d", got, exitCorrupt)
 	}
 	// Repair and re-verify.
 	if err := cmdRepair([]string{"-block", "2", outDir}); err != nil {
@@ -139,7 +156,37 @@ func TestEncodeValidation(t *testing.T) {
 	if err := cmdEncode([]string{"-n", "6", "-k", "6", empty, filepath.Join(dir, "out")}); err == nil {
 		t.Fatal("invalid parameters did not error")
 	}
-	if err := cmdInfo([]string{filepath.Join(dir, "nope")}); err == nil {
+	err := cmdInfo([]string{filepath.Join(dir, "nope")})
+	if err == nil {
 		t.Fatal("missing manifest did not error")
+	}
+	if got := exitCode(err); got != exitNotFound {
+		t.Fatalf("missing manifest: exit %d (%v), want %d", got, err, exitNotFound)
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"generic", errors.New("boom"), exitFailure},
+		{"not-found", blockserver.ErrNotFound, exitNotFound},
+		{"missing-manifest", fmt.Errorf("reading manifest: %w", os.ErrNotExist), exitNotFound},
+		{"corrupt", fmt.Errorf("%w: block 4", blockserver.ErrCorrupt), exitCorrupt},
+		{"timeout", fmt.Errorf("get: %w", blockserver.ErrTimeout), exitTimeout},
+		{"timeout-joined", errors.Join(blockserver.ErrTimeout, context.DeadlineExceeded), exitTimeout},
+		{"too-few-survivors", blockserver.ErrTooFewSurvivors, exitTooFewSurvivors},
+		{"too-few-blocks", fmt.Errorf("decode: %w", carousel.ErrTooFewBlocks), exitTooFewSurvivors},
+		// Corruption is reported even when it also caused a survivor
+		// shortfall: the more actionable diagnosis wins.
+		{"corrupt-and-short", errors.Join(blockserver.ErrCorrupt, blockserver.ErrTooFewSurvivors), exitCorrupt},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
+		}
 	}
 }

@@ -1,15 +1,18 @@
 // Tcpcluster runs twelve real block servers on localhost TCP ports, stores
 // a Carousel-coded file across them, reads it back from all twelve in
-// parallel, kills a server, performs a degraded read, and finally repairs
-// the lost block with helper chunks computed server-side — the complete
-// deployment story of the paper over actual sockets.
+// parallel, kills a server, performs a degraded (any-k fallback) read,
+// corrupts a block and lets the checksum scrub repair it, and finally
+// regenerates the lost block with helper chunks computed server-side — the
+// complete deployment story of the paper over actual sockets.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"carousel"
 	"carousel/internal/blockserver"
@@ -21,6 +24,11 @@ func main() {
 		log.Fatal(err)
 	}
 	blockSize := 128 * code.BlockAlign()
+
+	// The whole demo runs under one deadline: every dial, read, and repair
+	// below inherits it.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
 	// Twelve servers on ephemeral localhost ports, one per block index.
 	servers := make([]*blockserver.Server, 12)
@@ -35,38 +43,59 @@ func main() {
 	}
 	fmt.Printf("12 block servers up (e.g. %s ... %s)\n", addrs[0], addrs[11])
 
-	store, err := blockserver.NewStore(code, addrs, blockSize)
+	store, err := blockserver.NewStore(code, addrs, blockSize,
+		blockserver.WithHedgeDelay(250*time.Millisecond))
 	if err != nil {
 		log.Fatal(err)
 	}
 	data := make([]byte, 2*6*blockSize+1234)
 	rand.New(rand.NewSource(7)).Read(data)
-	stripes, err := store.WriteFile("demo", data)
+	stripes, err := store.WriteFile(ctx, "demo", data)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("stored %d bytes as %d stripes, block %d B, data on all 12 servers\n",
 		len(data), stripes, blockSize)
 
-	got, err := store.ReadFile("demo", len(data))
+	got, stats, err := store.ReadFile(ctx, "demo", len(data))
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !bytes.Equal(got, data) {
 		log.Fatal("healthy read mismatch")
 	}
-	fmt.Println("healthy read: fetched 1/12 of the data from each server in parallel")
+	fmt.Printf("healthy read: 1/12 of the data from each server, path=%s\n", stats.Path())
 
-	// Kill server 5 and read again.
+	// Kill server 5 and read again: the hedged read notices the dead
+	// source and falls back to an any-k decode from the fastest k.
 	servers[5].Close()
-	got, err = store.ReadFile("demo", len(data))
+	got, stats, err = store.ReadFile(ctx, "demo", len(data))
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !bytes.Equal(got, data) {
 		log.Fatal("degraded read mismatch")
 	}
-	fmt.Println("killed server 5: degraded read still intact")
+	fmt.Printf("killed server 5: degraded read intact, path=%s (%d stripes fell back)\n",
+		stats.Path(), stats.StripesFallback)
+
+	// Corrupt a block on server 2: the stored checksum catches it, the
+	// read decodes around it, and a scrub re-encodes the block in place.
+	if err := servers[2].CorruptBlock(blockserver.BlockName("demo", 0, 2), 9); err != nil {
+		log.Fatal(err)
+	}
+	got, stats, err = store.ReadFile(ctx, "demo", len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		log.Fatal("read with corrupt block failed: ", err)
+	}
+	fmt.Printf("corrupted a block on server 2: checksum caught it, read intact (%d corrupt source(s) seen)\n",
+		stats.CorruptSources)
+	rep, err := store.Scrub(ctx, "demo", len(data), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scrub: %d blocks checked, %d corrupt, %d repaired, %d unreachable (moving %d bytes)\n",
+		rep.BlocksChecked, len(rep.Corrupt), len(rep.Repaired), len(rep.Unreachable), rep.TrafficBytes)
 
 	// Bring up a replacement server and regenerate block 5 of each stripe
 	// from helper chunks computed on the other servers.
@@ -82,7 +111,7 @@ func main() {
 	}
 	total := 0
 	for st := 0; st < stripes; st++ {
-		traffic, err := store.Repair("demo", st, 5)
+		traffic, err := store.Repair(ctx, "demo", st, 5)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,12 +121,12 @@ func main() {
 	fmt.Printf("(%.2f blocks per repair; a Reed-Solomon repair would move %d bytes per stripe)\n",
 		float64(total)/float64(stripes)/float64(blockSize), 6*blockSize)
 
-	got, err = store.ReadFile("demo", len(data))
+	got, stats, err = store.ReadFile(ctx, "demo", len(data))
 	if err != nil {
 		log.Fatal(err)
 	}
 	if !bytes.Equal(got, data) {
 		log.Fatal("post-repair read mismatch")
 	}
-	fmt.Println("post-repair read: all 12 servers serving original data again")
+	fmt.Printf("post-repair read: all 12 servers serving original data again, path=%s\n", stats.Path())
 }

@@ -2,6 +2,7 @@ package blockserver
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -37,6 +38,7 @@ func startServers(t *testing.T, code *carousel.Code, n int) ([]*Server, []string
 }
 
 func TestPutGetRangeDeleteStat(t *testing.T) {
+	ctx := context.Background()
 	_, addrs := startServers(t, nil, 1)
 	c, err := Dial(addrs[0])
 	if err != nil {
@@ -45,42 +47,49 @@ func TestPutGetRangeDeleteStat(t *testing.T) {
 	defer c.Close()
 
 	data := []byte("hello block world")
-	if err := c.Put("b1", data); err != nil {
+	if err := c.Put(ctx, "b1", data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("b1")
+	got, err := c.Get(ctx, "b1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatalf("Get = %q", got)
 	}
-	size, err := c.Stat("b1")
+	size, err := c.Stat(ctx, "b1")
 	if err != nil || size != len(data) {
 		t.Fatalf("Stat = %d, %v", size, err)
 	}
-	part, err := c.GetRange("b1", 6, 5)
+	if err := c.Verify(ctx, "b1"); err != nil {
+		t.Fatalf("Verify intact block: %v", err)
+	}
+	part, err := c.GetRange(ctx, "b1", 6, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(part) != "block" {
 		t.Fatalf("GetRange = %q", part)
 	}
-	if _, err := c.GetRange("b1", 10, 100); err == nil {
-		t.Fatal("out-of-range read did not error")
+	if _, err := c.GetRange(ctx, "b1", 10, 100); !errors.Is(err, ErrRemote) {
+		t.Fatalf("out-of-range read: %v, want ErrRemote", err)
 	}
-	if err := c.Delete("b1"); err != nil {
+	if err := c.Delete(ctx, "b1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("b1"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Get(ctx, "b1"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get after delete: %v", err)
 	}
-	if _, err := c.Stat("missing"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Stat(ctx, "missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Stat missing: %v", err)
+	}
+	if err := c.Verify(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Verify missing: %v", err)
 	}
 }
 
 func TestChunkComputedServerSide(t *testing.T) {
+	ctx := context.Background()
 	code := mustCode(t)
 	_, addrs := startServers(t, code, 1)
 	blockSize := code.BlockAlign() * 64
@@ -99,10 +108,10 @@ func TestChunkComputedServerSide(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Put("blk", blocks[3]); err != nil {
+	if err := c.Put(ctx, "blk", blocks[3]); err != nil {
 		t.Fatal(err)
 	}
-	chunk, err := c.Chunk("blk", 3, 0)
+	chunk, err := c.Chunk(ctx, "blk", 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,15 +132,16 @@ func TestChunkComputedServerSide(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	if err := c2.Put("blk", blocks[3]); err != nil {
+	if err := c2.Put(ctx, "blk", blocks[3]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c2.Chunk("blk", 3, 0); err == nil {
-		t.Fatal("chunk on code-less server did not error")
+	if _, err := c2.Chunk(ctx, "blk", 3, 0); !errors.Is(err, ErrRemote) {
+		t.Fatalf("chunk on code-less server: %v, want ErrRemote", err)
 	}
 }
 
 func TestStoreEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	code := mustCode(t)
 	servers, addrs := startServers(t, code, 12)
 	blockSize := code.BlockAlign() * 32
@@ -143,33 +153,40 @@ func TestStoreEndToEnd(t *testing.T) {
 	size := 2*6*blockSize + blockSize + 17
 	data := make([]byte, size)
 	rand.New(rand.NewSource(2)).Read(data)
-	stripes, err := store.WriteFile("f", data)
+	stripes, err := store.WriteFile(ctx, "f", data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stripes != 3 {
 		t.Fatalf("stripes = %d, want 3", stripes)
 	}
-	got, err := store.ReadFile("f", size)
+	got, stats, err := store.ReadFile(ctx, "f", size)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("healthy TCP read mismatch")
 	}
+	if stats.Path() != "parallel" {
+		t.Fatalf("healthy read path = %q, want parallel", stats.Path())
+	}
 
-	// Kill a server: degraded read still succeeds.
+	// Kill a server: degraded read still succeeds, via the fallback path.
 	servers[4].Close()
-	got, err = store.ReadFile("f", size)
+	got, stats, err = store.ReadFile(ctx, "f", size)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("degraded TCP read mismatch")
 	}
+	if stats.StripesFallback != 3 {
+		t.Fatalf("degraded read served %d stripes via fallback, want 3", stats.StripesFallback)
+	}
 }
 
 func TestStoreRepairOverTCP(t *testing.T) {
+	ctx := context.Background()
 	code := mustCode(t)
 	servers, addrs := startServers(t, code, 12)
 	blockSize := code.BlockAlign() * 32
@@ -179,7 +196,7 @@ func TestStoreRepairOverTCP(t *testing.T) {
 	}
 	data := make([]byte, 6*blockSize)
 	rand.New(rand.NewSource(3)).Read(data)
-	if _, err := store.WriteFile("f", data); err != nil {
+	if _, err := store.WriteFile(ctx, "f", data); err != nil {
 		t.Fatal(err)
 	}
 	// Wipe block 2 on its server, then repair it through helper chunks.
@@ -187,18 +204,18 @@ func TestStoreRepairOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Delete(blockName("f", 0, 2)); err != nil {
+	if err := c.Delete(ctx, blockName("f", 0, 2)); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
-	traffic, err := store.Repair("f", 0, 2)
+	traffic, err := store.Repair(ctx, "f", 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := code.D() * (blockSize / code.Alpha()); traffic != want {
 		t.Fatalf("repair traffic = %d, want the optimal %d", traffic, want)
 	}
-	got, err := store.ReadFile("f", len(data))
+	got, _, err := store.ReadFile(ctx, "f", len(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +238,7 @@ func TestStoreValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.WriteFile("f", nil); err == nil {
+	if _, err := store.WriteFile(context.Background(), "f", nil); err == nil {
 		t.Error("empty file did not error")
 	}
 }
@@ -233,7 +250,7 @@ func TestProtocolNameValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Put("", []byte("x")); err == nil {
+	if err := c.Put(context.Background(), "", []byte("x")); err == nil {
 		t.Error("empty name did not error")
 	}
 }

@@ -1,108 +1,292 @@
 package blockserver
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
+	"time"
+
+	"carousel/internal/retry"
 )
+
+// ErrRemote wraps in-band application errors reported by the server
+// (anything it answers with statusError). The connection stays in sync, so
+// these never poison it, and they are not retried.
+var ErrRemote = errors.New("blockserver: remote error")
+
+// Options tunes a client's failure behavior. Zero fields take defaults.
+type Options struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// IOTimeout bounds one request/response exchange (default 10s). The
+	// caller's context deadline tightens it further when sooner.
+	IOTimeout time.Duration
+	// Retry schedules re-attempts of idempotent operations on transport
+	// failure; each attempt runs on a fresh connection. The default is 3
+	// attempts with 20ms..500ms jittered backoff.
+	Retry retry.Policy
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 10 * time.Second
+	}
+	if o.Retry.Attempts == 0 {
+		o.Retry = retry.Policy{Attempts: 3, Base: 20 * time.Millisecond, Max: 500 * time.Millisecond, Jitter: 0.2}
+	}
+	return o
+}
 
 // Client talks to one block server. It keeps a single connection and is
 // not safe for concurrent use; open one client per goroutine (parallel
-// reads do exactly that).
+// reads do exactly that). On any transport or protocol error the
+// connection is closed and marked dead, so the next call redials instead
+// of desyncing the framing; every operation is an idempotent full
+// exchange, so retries are safe.
 type Client struct {
+	addr string
+	opts Options
 	conn net.Conn
 }
 
-// Dial connects to a server.
+// Dial connects to a server with default options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("blockserver: dial %s: %w", addr, err)
+	return DialContext(context.Background(), addr, Options{})
+}
+
+// DialContext connects to a server, bounding the dial by ctx and
+// opts.DialTimeout.
+func DialContext(ctx context.Context, addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	if _, err := c.ensure(ctx); err != nil {
+		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	return c, nil
+}
+
+// NewClient returns a client that dials lazily on first use — what the
+// hedged read path wants, so dial failures surface inside the per-source
+// context instead of up front.
+func NewClient(addr string, opts Options) *Client {
+	return &Client{addr: addr, opts: opts.withDefaults()}
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// request sends the op header and name.
-func (c *Client) request(op byte, name string) error {
-	if _, err := c.conn.Write([]byte{op}); err != nil {
-		return err
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
 	}
-	return writeName(c.conn, name)
-}
-
-// Put stores a block under name.
-func (c *Client) Put(name string, data []byte) error {
-	if err := c.request(opPut, name); err != nil {
-		return err
-	}
-	if err := writeFrame(c.conn, data); err != nil {
-		return err
-	}
-	_, err := readResponse(c.conn)
+	err := c.conn.Close()
+	c.conn = nil
 	return err
 }
 
-// Get fetches a whole block.
-func (c *Client) Get(name string) ([]byte, error) {
-	if err := c.request(opGet, name); err != nil {
-		return nil, err
+// poison closes and discards the connection so the next call redials.
+func (c *Client) poison() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
 	}
-	return readResponse(c.conn)
+}
+
+// ensure returns a live connection, dialing when needed.
+func (c *Client) ensure(ctx context.Context) (net.Conn, error) {
+	if c.conn != nil {
+		return c.conn, nil
+	}
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("blockserver: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	return conn, nil
+}
+
+// inBand reports whether an error is an application verdict delivered over
+// an intact, in-sync connection (no poisoning needed).
+func inBand(err error) bool {
+	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrCorrupt) || errors.Is(err, ErrRemote)
+}
+
+// do runs one idempotent exchange with deadline enforcement, poisoning,
+// and retry. exchange must write the full request and read the full
+// response.
+func (c *Client) do(ctx context.Context, exchange func(conn net.Conn) error) error {
+	return retry.Do(ctx, c.opts.Retry, retryable, func(ctx context.Context) error {
+		conn, err := c.ensure(ctx)
+		if err != nil {
+			return classify(err)
+		}
+		deadline := time.Now().Add(c.opts.IOTimeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		conn.SetDeadline(deadline)
+		// A cancellation watcher interrupts in-flight I/O by expiring the
+		// deadline — per-source cancellation for hedged reads.
+		stop := make(chan struct{})
+		watcherDone := make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-ctx.Done():
+				conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		err = exchange(conn)
+		close(stop)
+		<-watcherDone
+		if err != nil {
+			if !inBand(err) {
+				// Short read/write, malformed or corrupt frame, timeout:
+				// the stream position is unknown — kill the connection.
+				c.poison()
+			}
+			if ctx.Err() != nil {
+				err = errors.Join(classify(ctx.Err()), err)
+			}
+			return classify(err)
+		}
+		conn.SetDeadline(time.Time{})
+		return nil
+	})
+}
+
+// request sends the op header and name.
+func request(conn net.Conn, op byte, name string) error {
+	if _, err := conn.Write([]byte{op}); err != nil {
+		return err
+	}
+	return writeName(conn, name)
+}
+
+// Put stores a block under name.
+func (c *Client) Put(ctx context.Context, name string, data []byte) error {
+	return c.do(ctx, func(conn net.Conn) error {
+		if err := request(conn, opPut, name); err != nil {
+			return err
+		}
+		if err := writeFrame(conn, data); err != nil {
+			return err
+		}
+		_, err := readResponse(conn)
+		return err
+	})
+}
+
+// Get fetches a whole block.
+func (c *Client) Get(ctx context.Context, name string) ([]byte, error) {
+	var out []byte
+	err := c.do(ctx, func(conn net.Conn) error {
+		if err := request(conn, opGet, name); err != nil {
+			return err
+		}
+		payload, err := readResponse(conn)
+		if err != nil {
+			return err
+		}
+		out = payload
+		return nil
+	})
+	return out, err
 }
 
 // GetRange fetches length bytes starting at off — how a parallel reader
 // pulls only the data prefix of a Carousel block.
-func (c *Client) GetRange(name string, off, length int) ([]byte, error) {
-	if err := c.request(opRange, name); err != nil {
-		return nil, err
-	}
-	if err := writeU32(c.conn, uint32(off)); err != nil {
-		return nil, err
-	}
-	if err := writeU32(c.conn, uint32(length)); err != nil {
-		return nil, err
-	}
-	return readResponse(c.conn)
+func (c *Client) GetRange(ctx context.Context, name string, off, length int) ([]byte, error) {
+	var out []byte
+	err := c.do(ctx, func(conn net.Conn) error {
+		if err := request(conn, opRange, name); err != nil {
+			return err
+		}
+		if err := writeU32(conn, uint32(off)); err != nil {
+			return err
+		}
+		if err := writeU32(conn, uint32(length)); err != nil {
+			return err
+		}
+		payload, err := readResponse(conn)
+		if err != nil {
+			return err
+		}
+		out = payload
+		return nil
+	})
+	return out, err
 }
 
 // Chunk asks the server to compute its repair contribution for the failed
 // block index; only blockSize/alpha bytes come back.
-func (c *Client) Chunk(name string, helper, failed int) ([]byte, error) {
-	if err := c.request(opChunk, name); err != nil {
-		return nil, err
-	}
-	if err := writeU32(c.conn, uint32(helper)); err != nil {
-		return nil, err
-	}
-	if err := writeU32(c.conn, uint32(failed)); err != nil {
-		return nil, err
-	}
-	return readResponse(c.conn)
+func (c *Client) Chunk(ctx context.Context, name string, helper, failed int) ([]byte, error) {
+	var out []byte
+	err := c.do(ctx, func(conn net.Conn) error {
+		if err := request(conn, opChunk, name); err != nil {
+			return err
+		}
+		if err := writeU32(conn, uint32(helper)); err != nil {
+			return err
+		}
+		if err := writeU32(conn, uint32(failed)); err != nil {
+			return err
+		}
+		payload, err := readResponse(conn)
+		if err != nil {
+			return err
+		}
+		out = payload
+		return nil
+	})
+	return out, err
 }
 
 // Delete removes a block.
-func (c *Client) Delete(name string) error {
-	if err := c.request(opDelete, name); err != nil {
+func (c *Client) Delete(ctx context.Context, name string) error {
+	return c.do(ctx, func(conn net.Conn) error {
+		if err := request(conn, opDelete, name); err != nil {
+			return err
+		}
+		_, err := readResponse(conn)
 		return err
-	}
-	_, err := readResponse(c.conn)
-	return err
+	})
 }
 
 // Stat returns the size of a block.
-func (c *Client) Stat(name string) (int, error) {
-	if err := c.request(opStat, name); err != nil {
-		return 0, err
-	}
-	payload, err := readResponse(c.conn)
-	if err != nil {
-		return 0, err
-	}
-	if len(payload) != 4 {
-		return 0, fmt.Errorf("blockserver: malformed stat response of %d bytes", len(payload))
-	}
-	return int(binary.BigEndian.Uint32(payload)), nil
+func (c *Client) Stat(ctx context.Context, name string) (int, error) {
+	var size int
+	err := c.do(ctx, func(conn net.Conn) error {
+		if err := request(conn, opStat, name); err != nil {
+			return err
+		}
+		payload, err := readResponse(conn)
+		if err != nil {
+			return err
+		}
+		if len(payload) != 4 {
+			return fmt.Errorf("blockserver: malformed stat response of %d bytes", len(payload))
+		}
+		size = int(binary.BigEndian.Uint32(payload))
+		return nil
+	})
+	return size, err
+}
+
+// Verify asks the server to re-checksum a block in place; it returns nil
+// for an intact block, ErrCorrupt for detected bit rot, ErrNotFound for a
+// missing block. No block content crosses the network.
+func (c *Client) Verify(ctx context.Context, name string) error {
+	return c.do(ctx, func(conn net.Conn) error {
+		if err := request(conn, opVerify, name); err != nil {
+			return err
+		}
+		_, err := readResponse(conn)
+		return err
+	})
 }

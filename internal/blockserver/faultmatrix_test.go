@@ -1,0 +1,553 @@
+package blockserver
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"carousel/internal/carousel"
+	"carousel/internal/faultnet"
+	"carousel/internal/retry"
+)
+
+// fastOpts are client options scaled for localhost fault tests: short
+// timeouts, two attempts, deterministic jitter.
+func fastOpts() Options {
+	return Options{
+		DialTimeout: 2 * time.Second,
+		IOTimeout:   2 * time.Second,
+		Retry:       retry.Policy{Attempts: 2, Base: 5 * time.Millisecond, Max: 20 * time.Millisecond},
+	}
+}
+
+// startFaultServers spins n servers, each behind its own faultnet
+// injector.
+func startFaultServers(t *testing.T, code *carousel.Code, n int) ([]*Server, []string, []*faultnet.Injector) {
+	t.Helper()
+	servers := make([]*Server, n)
+	addrs := make([]string, n)
+	injectors := make([]*faultnet.Injector, n)
+	for i := 0; i < n; i++ {
+		raw, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := faultnet.NewInjector()
+		srv := NewServer(code)
+		addr, err := srv.StartListener(in.Wrap(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i], addrs[i], injectors[i] = srv, addr, in
+		t.Cleanup(func() { srv.Close() })
+	}
+	return servers, addrs, injectors
+}
+
+// waitGoroutines polls until the goroutine count returns to the baseline,
+// failing with a stack dump on leak.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutine leak: %d goroutines > baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestFaultMatrixHedgedRead is the acceptance matrix for the hedged read
+// path: with carousel(14,10,10,12) over real TCP servers, killing one
+// server mid-read and delaying another beyond the hedge deadline must
+// still return byte-identical content via the fastest-k fallback, within
+// the overall deadline and without leaking goroutines.
+func TestFaultMatrixHedgedRead(t *testing.T) {
+	code, err := carousel.New(14, 10, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockSize := code.BlockAlign() * 16
+	size := 2*10*blockSize + 37 // two full stripes plus change
+	data := make([]byte, size)
+	rand.New(rand.NewSource(11)).Read(data)
+
+	cases := []struct {
+		name       string
+		kill, slow int
+		slowPolicy faultnet.Policy
+		wantPath   string
+	}{
+		{"kill-data+delay-data", 3, 7, faultnet.Policy{DelayWrite: 250 * time.Millisecond}, "fallback"},
+		{"kill-data+blackhole-data", 0, 11, faultnet.Policy{Blackhole: true}, "fallback"},
+		{"kill-parity+delay-data", 12, 5, faultnet.Policy{DelayWrite: 250 * time.Millisecond}, "fallback"},
+		{"kill-parity+delay-parity", 13, 12, faultnet.Policy{DelayWrite: 250 * time.Millisecond}, "parallel"},
+		{"kill-data+partition-data", 9, 2, faultnet.Policy{RejectConn: true}, "fallback"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			servers, addrs, injectors := startFaultServers(t, code, 14)
+			store, err := NewStore(code, addrs, blockSize,
+				WithClientOptions(fastOpts()), WithHedgeDelay(150*time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := store.WriteFile(ctx, "f", data); err != nil {
+				t.Fatal(err)
+			}
+
+			base := runtime.NumGoroutine()
+			servers[tc.kill].Close()
+			injectors[tc.slow].SetDefault(tc.slowPolicy)
+
+			// The overall deadline the acceptance criterion requires: the
+			// read must finish despite the dead and slow servers.
+			rctx, cancel := context.WithTimeout(ctx, 8*time.Second)
+			defer cancel()
+			start := time.Now()
+			got, stats, err := store.ReadFile(rctx, "f", size)
+			if err != nil {
+				t.Fatalf("read with server %d dead and %d slow: %v (after %v)", tc.kill, tc.slow, err, time.Since(start))
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("fault-path read returned different bytes")
+			}
+			if rctx.Err() != nil {
+				t.Fatal("read overran the overall deadline")
+			}
+			if p := stats.Path(); p != tc.wantPath {
+				t.Errorf("read path = %q (stats %+v), want %q", p, *stats, tc.wantPath)
+			}
+			// Lift the fault so the slow server's in-flight handlers drain,
+			// then require every client-side goroutine to be gone.
+			injectors[tc.slow].SetDefault(faultnet.Policy{})
+			waitGoroutines(t, base)
+		})
+	}
+}
+
+// TestFaultMatrixRepair exercises kill/slow × repair: a repair must
+// succeed by promoting spare helpers when contacted helpers are dead or
+// straggling, keeping optimal traffic (d chunks) from the helpers that
+// actually served.
+func TestFaultMatrixRepair(t *testing.T) {
+	code, err := carousel.New(14, 10, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockSize := code.BlockAlign() * 16
+	data := make([]byte, 10*blockSize)
+	rand.New(rand.NewSource(12)).Read(data)
+
+	cases := []struct {
+		name       string
+		kill, slow int
+	}{
+		{"kill-helper+delay-helper", 1, 4},
+		{"kill-first-helper+blackhole-helper", 0, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			servers, addrs, injectors := startFaultServers(t, code, 14)
+			store, err := NewStore(code, addrs, blockSize,
+				WithClientOptions(fastOpts()), WithHedgeDelay(150*time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := store.WriteFile(ctx, "f", data); err != nil {
+				t.Fatal(err)
+			}
+			const failed = 6
+			c, err := Dial(addrs[failed])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Delete(ctx, blockName("f", 0, failed)); err != nil {
+				t.Fatal(err)
+			}
+			c.Close()
+
+			base := runtime.NumGoroutine()
+			servers[tc.kill].Close()
+			policy := faultnet.Policy{DelayWrite: 250 * time.Millisecond}
+			if tc.name == "kill-first-helper+blackhole-helper" {
+				policy = faultnet.Policy{Blackhole: true}
+			}
+			injectors[tc.slow].SetDefault(policy)
+
+			rctx, cancel := context.WithTimeout(ctx, 8*time.Second)
+			defer cancel()
+			traffic, err := store.Repair(rctx, "f", 0, failed)
+			if err != nil {
+				t.Fatalf("repair with helper %d dead and %d slow: %v", tc.kill, tc.slow, err)
+			}
+			if want := code.D() * code.HelperChunkSize(blockSize); traffic != want {
+				t.Errorf("repair traffic = %d, want optimal %d", traffic, want)
+			}
+			injectors[tc.slow].SetDefault(faultnet.Policy{})
+			got, _, err := store.ReadFile(ctx, "f", len(data))
+			if err != nil || !bytes.Equal(got, data) {
+				t.Fatalf("read after fault-path repair: %v", err)
+			}
+			waitGoroutines(t, base)
+		})
+	}
+}
+
+// TestCorruptBlockDetectedExcludedRepaired is the corruption leg of the
+// acceptance matrix: a corrupted block is caught by checksum at read time,
+// excluded from the decode (the read still returns correct bytes), then
+// found and regenerated by a scrub pass.
+func TestCorruptBlockDetectedExcludedRepaired(t *testing.T) {
+	code, err := carousel.New(14, 10, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockSize := code.BlockAlign() * 16
+	size := 10*blockSize + 101
+	data := make([]byte, size)
+	rand.New(rand.NewSource(13)).Read(data)
+
+	servers, addrs, _ := startFaultServers(t, code, 14)
+	store, err := NewStore(code, addrs, blockSize,
+		WithClientOptions(fastOpts()), WithHedgeDelay(150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := store.WriteFile(ctx, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	const bad = 4
+	if err := servers[bad].CorruptBlock(blockName("f", 0, bad), 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// The read detects the corruption, excludes the block, and still
+	// returns the original bytes.
+	got, stats, err := store.ReadFile(ctx, "f", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read with corrupt block returned different bytes")
+	}
+	if stats.CorruptSources == 0 {
+		t.Errorf("corruption was not detected by checksum (stats %+v)", *stats)
+	}
+	if stats.StripesFallback == 0 {
+		t.Error("corrupt stripe was not served via the fallback decode")
+	}
+
+	// The client surface also sees a typed verdict.
+	c, err := Dial(addrs[bad])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, blockName("f", 0, bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of corrupt block: %v, want ErrCorrupt", err)
+	}
+	if err := c.Verify(ctx, blockName("f", 0, bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Verify of corrupt block: %v, want ErrCorrupt", err)
+	}
+	c.Close()
+
+	// Scrub finds exactly the corrupted block and regenerates it.
+	rep, err := store.Scrub(ctx, "f", size, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != (BlockRef{Stripe: 0, Block: bad}) {
+		t.Fatalf("scrub found %+v, want exactly stripe 0 block %d", rep.Corrupt, bad)
+	}
+	if len(rep.Repaired) != 1 {
+		t.Fatalf("scrub repaired %+v, want one block", rep.Repaired)
+	}
+
+	// After repair, the block verifies and the read is fully parallel again.
+	c2, err := Dial(addrs[bad])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Verify(ctx, blockName("f", 0, bad)); err != nil {
+		t.Fatalf("Verify after scrub repair: %v", err)
+	}
+	c2.Close()
+	got, stats, err = store.ReadFile(ctx, "f", size)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after scrub repair: %v", err)
+	}
+	if stats.Path() != "parallel" {
+		t.Errorf("post-repair read path = %q, want parallel", stats.Path())
+	}
+}
+
+// TestReadFailsFastWhenTooFewSurvivors: with more than n-k servers dead
+// the read must return a typed error quickly rather than hang.
+func TestReadFailsFastWhenTooFewSurvivors(t *testing.T) {
+	code := mustCode(t) // carousel(12,6,10,12)
+	servers, addrs := startServers(t, code, 12)
+	blockSize := code.BlockAlign() * 8
+	store, err := NewStore(code, addrs, blockSize,
+		WithClientOptions(fastOpts()), WithHedgeDelay(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := make([]byte, 6*blockSize)
+	rand.New(rand.NewSource(14)).Read(data)
+	if _, err := store.WriteFile(ctx, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ { // 7 > n-k = 6 dead
+		servers[i].Close()
+	}
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	_, _, err = store.ReadFile(rctx, "f", len(data))
+	if !errors.Is(err, ErrTooFewSurvivors) {
+		t.Fatalf("read with 7 dead servers: %v, want ErrTooFewSurvivors", err)
+	}
+	if rctx.Err() != nil {
+		t.Fatal("unavailability verdict overran the deadline: not fail-fast")
+	}
+}
+
+// TestRepairFailsFastWhenTooFewHelpers: with fewer than d reachable
+// helpers, repair returns the typed error.
+func TestRepairFailsFastWhenTooFewHelpers(t *testing.T) {
+	code := mustCode(t)
+	servers, addrs := startServers(t, code, 12)
+	blockSize := code.BlockAlign() * 8
+	store, err := NewStore(code, addrs, blockSize, WithClientOptions(fastOpts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data := make([]byte, 6*blockSize)
+	rand.New(rand.NewSource(15)).Read(data)
+	if _, err := store.WriteFile(ctx, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	// d = 10 helpers needed; kill 3 others so only 8 remain.
+	servers[1].Close()
+	servers[2].Close()
+	servers[3].Close()
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	_, err = store.Repair(rctx, "f", 0, 0)
+	if !errors.Is(err, ErrTooFewSurvivors) {
+		t.Fatalf("repair with 8 of 10 helpers: %v, want ErrTooFewSurvivors", err)
+	}
+}
+
+// TestServerCloseCancelsInflightConns: Close must stop accepting, cancel
+// handler connections (even ones blocked mid-request on an idle client),
+// and leave no goroutines behind — the shutdown-ordering fix.
+func TestServerCloseCancelsInflightConns(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv := NewServer(nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	for i := 0; i < 3; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+	// Leave one handler blocked mid-request: op byte sent, name never
+	// following.
+	if _, err := conns[0].Write([]byte{opGet}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the handlers park in their reads
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close hung on in-flight connections")
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	waitGoroutines(t, base)
+}
+
+// countingListener counts accepted connections, to observe redials.
+type countingListener struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepts.Add(1)
+	}
+	return c, err
+}
+
+// TestClientPoisoningAndRedial: in-band errors keep the connection; wire
+// corruption poisons it, and the next call transparently redials.
+func TestClientPoisoningAndRedial(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingListener{Listener: raw}
+	in := faultnet.NewInjector()
+	srv := NewServer(nil)
+	addr, err := srv.StartListener(in.Wrap(counting))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	ctx := context.Background()
+	c, err := DialContext(ctx, addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := bytes.Repeat([]byte("p"), 256)
+	if err := c.Put(ctx, "b", payload); err != nil {
+		t.Fatal(err)
+	}
+	// In-band errors do not redial: still one connection.
+	if _, err := c.Get(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing: %v", err)
+	}
+	if got := counting.accepts.Load(); got != 1 {
+		t.Fatalf("accepts after in-band error = %d, want 1 (no redial)", got)
+	}
+	// Corrupt the wire: the exchange fails after retries and the
+	// connection is marked dead.
+	in.SetDefault(faultnet.Policy{CorruptWrites: true})
+	if _, err := c.Get(ctx, "b"); err == nil {
+		t.Fatal("Get over corrupting wire succeeded")
+	}
+	in.SetDefault(faultnet.Policy{})
+	// The next call redials and succeeds on the same Client.
+	got, err := c.Get(ctx, "b")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after poisoning: %v", err)
+	}
+	if counting.accepts.Load() < 2 {
+		t.Fatal("poisoned connection was not redialed")
+	}
+}
+
+// TestClientTimeoutTyped: a blackholed server yields ErrTimeout within the
+// context budget.
+func TestClientTimeoutTyped(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faultnet.NewInjector()
+	in.SetDefault(faultnet.Policy{Blackhole: true})
+	srv := NewServer(nil)
+	addr, err := srv.StartListener(in.Wrap(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	c := NewClient(addr, Options{
+		DialTimeout: time.Second,
+		IOTimeout:   100 * time.Millisecond,
+		Retry:       retry.Policy{Attempts: 1},
+	})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Get(ctx, "b"); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Get on blackholed server: %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 1500*time.Millisecond {
+		t.Fatal("timeout verdict was not fail-fast")
+	}
+}
+
+// TestDegradedReadAB is the EXPERIMENTS.md recipe: an A/B of read latency
+// with and without an injected straggler. A = all 14 servers healthy
+// (parallel path). B = one data server's writes delayed well past the
+// hedge deadline (any-k fallback). The hedge must bound B's latency by
+// roughly hedge + fallback-fetch time instead of the straggler's delay,
+// and both reads must be byte-identical.
+func TestDegradedReadAB(t *testing.T) {
+	code, err := carousel.New(14, 10, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockSize := code.BlockAlign() * 16
+	size := 2 * 10 * blockSize
+	data := make([]byte, size)
+	rand.New(rand.NewSource(17)).Read(data)
+
+	_, addrs, injectors := startFaultServers(t, code, 14)
+	const hedge = 100 * time.Millisecond
+	const stragglerDelay = 600 * time.Millisecond
+	store, err := NewStore(code, addrs, blockSize,
+		WithClientOptions(fastOpts()), WithHedgeDelay(hedge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := store.WriteFile(ctx, "ab", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// A: healthy.
+	startA := time.Now()
+	got, stats, err := store.ReadFile(ctx, "ab", size)
+	latA := time.Since(startA)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("healthy read: %v", err)
+	}
+	if stats.Path() != "parallel" {
+		t.Fatalf("healthy read path = %s, want parallel", stats.Path())
+	}
+
+	// B: one data source delayed far beyond the hedge deadline.
+	injectors[4].SetDefault(faultnet.Policy{DelayWrite: stragglerDelay})
+	startB := time.Now()
+	got, stats, err = store.ReadFile(ctx, "ab", size)
+	latB := time.Since(startB)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("straggler read: %v", err)
+	}
+	if stats.StripesFallback == 0 {
+		t.Fatalf("straggler read path = %s, want fallback stripes", stats.Path())
+	}
+	injectors[4].SetDefault(faultnet.Policy{})
+
+	// The any-k fallback must beat waiting out the straggler on every
+	// stripe: 2 stripes x 600 ms of serialized delay would exceed 1.2 s.
+	if latB >= 2*stragglerDelay {
+		t.Fatalf("hedged read took %v, straggler delay not cut off", latB)
+	}
+	t.Logf("A (healthy, parallel): %v; B (600ms straggler, hedged any-k): %v", latA, latB)
+}

@@ -8,16 +8,26 @@
 // The wire protocol is a simple length-prefixed binary format over TCP:
 //
 //	request  := op(1) nameLen(2) name args...
-//	response := status(1) payloadLen(4) payload
+//	response := status(1) payloadLen(4) payloadCRC32C(4) payload
+//
+// Every frame (request payloads and response payloads alike) carries the
+// CRC32C of its payload, so wire corruption is detected at the receiver
+// instead of silently feeding damaged bytes into a decode. Servers
+// additionally keep the ingest-time CRC32C of each stored block and verify
+// it before serving, answering statusCorrupt when at-rest corruption is
+// found — the signal the client's read path uses to exclude the block and
+// route it into scrub/repair.
 //
 // Operations: put, get, range (partial read for parallel reads of data
-// prefixes), chunk (helper-side repair computation), delete, stat.
+// prefixes), chunk (helper-side repair computation), delete, stat, verify
+// (server-side checksum audit of one block).
 package blockserver
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -29,6 +39,7 @@ const (
 	opChunk
 	opDelete
 	opStat
+	opVerify
 )
 
 // Status codes.
@@ -36,6 +47,7 @@ const (
 	statusOK byte = iota
 	statusNotFound
 	statusError
+	statusCorrupt
 )
 
 // maxNameLen bounds block names on the wire.
@@ -48,10 +60,25 @@ const maxPayload = 1 << 30
 // ErrNotFound is returned when a server does not hold the named block.
 var ErrNotFound = errors.New("blockserver: block not found")
 
-// writeFrame writes a length-prefixed byte string.
+// errFrameChecksum marks wire-level frame corruption. Unlike ErrCorrupt
+// (at-rest corruption, a permanent verdict about the stored block) it is a
+// transport fault: the client poisons the connection and may retry.
+var errFrameChecksum = errors.New("blockserver: frame checksum mismatch")
+
+// castagnoli is the CRC32C table shared by wire frames and the stored-block
+// checksums (the same polynomial HDFS datanodes use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of a payload.
+func Checksum(b []byte) uint32 {
+	return crc32.Checksum(b, castagnoli)
+}
+
+// writeFrame writes a length-prefixed, checksummed byte string.
 func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], Checksum(payload))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -59,19 +86,23 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame reads a length-prefixed byte string.
+// readFrame reads a length-prefixed byte string and verifies its checksum.
 func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > maxPayload {
 		return nil, fmt.Errorf("blockserver: frame of %d bytes exceeds limit", n)
 	}
+	crc := binary.BigEndian.Uint32(hdr[4:])
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
+	}
+	if Checksum(buf) != crc {
+		return nil, errFrameChecksum
 	}
 	return buf, nil
 }
@@ -147,7 +178,9 @@ func readResponse(r io.Reader) ([]byte, error) {
 		return payload, nil
 	case statusNotFound:
 		return nil, ErrNotFound
+	case statusCorrupt:
+		return nil, fmt.Errorf("%w: %s", ErrCorrupt, payload)
 	default:
-		return nil, fmt.Errorf("blockserver: remote error: %s", payload)
+		return nil, fmt.Errorf("%w: %s", ErrRemote, payload)
 	}
 }

@@ -8,6 +8,14 @@ import (
 	"carousel/internal/carousel"
 )
 
+// storedBlock is one block at rest: its content plus the CRC32C computed at
+// ingest. Every serving path re-verifies content against the CRC, so bit
+// rot is detected at read time instead of being decoded into garbage.
+type storedBlock struct {
+	data []byte
+	crc  uint32
+}
+
 // Server is one block store: a TCP listener over an in-memory block map.
 // When constructed with a Carousel code it also answers chunk requests,
 // computing the helper side of a repair locally so only blockSize/alpha
@@ -16,16 +24,18 @@ type Server struct {
 	code *carousel.Code // may be nil: chunk requests are then rejected
 
 	mu     sync.RWMutex
-	blocks map[string][]byte
+	blocks map[string]storedBlock
 
-	lnMu sync.Mutex
-	ln   net.Listener
-	wg   sync.WaitGroup
+	lnMu   sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
 }
 
 // NewServer returns a server; code may be nil for a plain block store.
 func NewServer(code *carousel.Code) *Server {
-	return &Server{code: code, blocks: make(map[string][]byte)}
+	return &Server{code: code, blocks: make(map[string]storedBlock), conns: make(map[net.Conn]struct{})}
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
@@ -35,7 +45,19 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("blockserver: listen: %w", err)
 	}
+	return s.StartListener(ln)
+}
+
+// StartListener serves on an existing listener — the hook that lets tests
+// and blockserverd interpose a faultnet injector between the socket and the
+// protocol. It returns the listener's address.
+func (s *Server) StartListener(ln net.Listener) (string, error) {
 	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("blockserver: server is closed")
+	}
 	s.ln = ln
 	s.lnMu.Unlock()
 	s.wg.Add(1)
@@ -46,9 +68,14 @@ func (s *Server) Start(addr string) (string, error) {
 			if err != nil {
 				return // listener closed
 			}
+			if !s.track(conn) {
+				conn.Close()
+				return
+			}
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
+				defer s.untrack(conn)
 				s.serveConn(conn)
 			}()
 		}
@@ -56,15 +83,45 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for in-flight connections.
+// track registers an accepted connection, refusing it when the server is
+// shutting down (so Close never races a fresh handler).
+func (s *Server) track(conn net.Conn) bool {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+// untrack removes a finished connection.
+func (s *Server) untrack(conn net.Conn) {
+	s.lnMu.Lock()
+	delete(s.conns, conn)
+	s.lnMu.Unlock()
+}
+
+// Close shuts down in order: stop accepting, cancel in-flight handler
+// connections, then wait for every goroutine to exit. A server blocked on
+// an idle or half-open client connection still shuts down promptly because
+// closing the conn unblocks its handler's read.
 func (s *Server) Close() error {
 	s.lnMu.Lock()
+	s.closed = true
 	ln := s.ln
 	s.ln = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.lnMu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 	s.wg.Wait()
 	return err
@@ -89,6 +146,20 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// load fetches a stored block and verifies it against its ingest CRC.
+func (s *Server) load(name string) (storedBlock, byte) {
+	s.mu.RLock()
+	b, ok := s.blocks[name]
+	s.mu.RUnlock()
+	if !ok {
+		return storedBlock{}, statusNotFound
+	}
+	if Checksum(b.data) != b.crc {
+		return storedBlock{}, statusCorrupt
+	}
+	return b, statusOK
+}
+
 // handle dispatches one request; protocol errors close the connection,
 // application errors are reported in-band.
 func (s *Server) handle(conn net.Conn, op byte, name string) error {
@@ -99,18 +170,16 @@ func (s *Server) handle(conn net.Conn, op byte, name string) error {
 			return err
 		}
 		s.mu.Lock()
-		s.blocks[name] = data
+		s.blocks[name] = storedBlock{data: data, crc: Checksum(data)}
 		s.mu.Unlock()
 		return respond(conn, statusOK, nil)
 
 	case opGet:
-		s.mu.RLock()
-		data, ok := s.blocks[name]
-		s.mu.RUnlock()
-		if !ok {
-			return respond(conn, statusNotFound, nil)
+		b, st := s.load(name)
+		if st != statusOK {
+			return respond(conn, st, []byte(name))
 		}
-		return respond(conn, statusOK, data)
+		return respond(conn, statusOK, b.data)
 
 	case opRange:
 		off, err := readU32(conn)
@@ -121,16 +190,14 @@ func (s *Server) handle(conn net.Conn, op byte, name string) error {
 		if err != nil {
 			return err
 		}
-		s.mu.RLock()
-		data, ok := s.blocks[name]
-		s.mu.RUnlock()
-		if !ok {
-			return respond(conn, statusNotFound, nil)
+		b, st := s.load(name)
+		if st != statusOK {
+			return respond(conn, st, []byte(name))
 		}
-		if int(off)+int(length) > len(data) {
-			return respond(conn, statusError, []byte(fmt.Sprintf("range [%d,%d) exceeds block of %d bytes", off, off+length, len(data))))
+		if int(off)+int(length) > len(b.data) {
+			return respond(conn, statusError, []byte(fmt.Sprintf("range [%d,%d) exceeds block of %d bytes", off, off+length, len(b.data))))
 		}
-		return respond(conn, statusOK, data[off:off+length])
+		return respond(conn, statusOK, b.data[off:off+length])
 
 	case opChunk:
 		helper, err := readU32(conn)
@@ -144,13 +211,11 @@ func (s *Server) handle(conn net.Conn, op byte, name string) error {
 		if s.code == nil {
 			return respond(conn, statusError, []byte("server has no code configured"))
 		}
-		s.mu.RLock()
-		data, ok := s.blocks[name]
-		s.mu.RUnlock()
-		if !ok {
-			return respond(conn, statusNotFound, nil)
+		b, st := s.load(name)
+		if st != statusOK {
+			return respond(conn, st, []byte(name))
 		}
-		chunk, err := s.code.HelperChunk(int(helper), int(failed), data)
+		chunk, err := s.code.HelperChunk(int(helper), int(failed), b.data)
 		if err != nil {
 			return respond(conn, statusError, []byte(err.Error()))
 		}
@@ -163,15 +228,22 @@ func (s *Server) handle(conn net.Conn, op byte, name string) error {
 		return respond(conn, statusOK, nil)
 
 	case opStat:
-		s.mu.RLock()
-		data, ok := s.blocks[name]
-		s.mu.RUnlock()
-		if !ok {
-			return respond(conn, statusNotFound, nil)
+		b, st := s.load(name)
+		if st != statusOK {
+			return respond(conn, st, []byte(name))
 		}
 		var size [4]byte
-		writeU32Into(size[:], uint32(len(data)))
+		writeU32Into(size[:], uint32(len(b.data)))
 		return respond(conn, statusOK, size[:])
+
+	case opVerify:
+		// A scrub primitive: re-checksum the block server-side without
+		// shipping its content. statusOK means intact.
+		_, st := s.load(name)
+		if st != statusOK {
+			return respond(conn, st, []byte(name))
+		}
+		return respond(conn, statusOK, nil)
 
 	default:
 		return respond(conn, statusError, []byte(fmt.Sprintf("unknown op %d", op)))
@@ -190,4 +262,20 @@ func (s *Server) BlockCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.blocks)
+}
+
+// CorruptBlock flips a byte of a stored block without updating its CRC — a
+// fault-injection hook standing in for bit rot on disk.
+func (s *Server) CorruptBlock(name string, offset int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blocks[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if offset < 0 || offset >= len(b.data) {
+		return fmt.Errorf("blockserver: offset %d out of range [0,%d)", offset, len(b.data))
+	}
+	b.data[offset] ^= 0xff
+	return nil
 }

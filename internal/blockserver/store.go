@@ -1,9 +1,11 @@
 package blockserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"carousel/internal/carousel"
 	"carousel/internal/reedsolomon"
@@ -13,21 +15,53 @@ import (
 // of every stripe lives on server i. Reads pull original data from up to p
 // servers in parallel over TCP; repairs move only the optimal chunk from
 // each of d helpers.
+//
+// The read path is hedged and straggler-tolerant: the p-source parallel
+// read runs under a hedge deadline, and as soon as any source fails — or
+// the deadline passes with stragglers outstanding — the stripe falls back
+// to an any-k decode over the fastest k responders, cancelling every other
+// stream. Corrupt blocks (detected by the servers' CRC32C verification)
+// are excluded from decodes and can be regenerated with Scrub.
 type Store struct {
 	code      *carousel.Code
 	addrs     []string
 	blockSize int
+	client    Options
+	hedge     time.Duration
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithClientOptions sets the per-RPC client options (timeouts, retry).
+func WithClientOptions(o Options) StoreOption {
+	return func(s *Store) { s.client = o }
+}
+
+// WithHedgeDelay sets how long the parallel read waits for straggling
+// sources before falling back to the fastest-k decode (default 500ms).
+func WithHedgeDelay(d time.Duration) StoreOption {
+	return func(s *Store) {
+		if d > 0 {
+			s.hedge = d
+		}
+	}
 }
 
 // NewStore builds a store over n server addresses.
-func NewStore(code *carousel.Code, addrs []string, blockSize int) (*Store, error) {
+func NewStore(code *carousel.Code, addrs []string, blockSize int, opts ...StoreOption) (*Store, error) {
 	if len(addrs) != code.N() {
 		return nil, fmt.Errorf("blockserver: store needs %d servers, got %d", code.N(), len(addrs))
 	}
 	if blockSize <= 0 || blockSize%code.BlockAlign() != 0 {
 		return nil, fmt.Errorf("blockserver: block size %d must be a positive multiple of %d", blockSize, code.BlockAlign())
 	}
-	return &Store{code: code, addrs: addrs, blockSize: blockSize}, nil
+	s := &Store{code: code, addrs: addrs, blockSize: blockSize, hedge: 500 * time.Millisecond}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.client = s.client.withDefaults()
+	return s, nil
 }
 
 // blockName keys a block on its server.
@@ -35,9 +69,16 @@ func blockName(file string, stripe, idx int) string {
 	return fmt.Sprintf("%s/%d/%d", file, stripe, idx)
 }
 
+// BlockName returns the key under which the Store places block idx of the
+// given stripe on server idx — for tools and tests that address blocks
+// directly through a Client.
+func BlockName(file string, stripe, idx int) string {
+	return blockName(file, stripe, idx)
+}
+
 // WriteFile encodes data into stripes and uploads block i of every stripe
 // to server i. It returns the stripe count.
-func (s *Store) WriteFile(name string, data []byte) (int, error) {
+func (s *Store) WriteFile(ctx context.Context, name string, data []byte) (int, error) {
 	if len(data) == 0 {
 		return 0, errors.New("blockserver: empty file")
 	}
@@ -65,7 +106,7 @@ func (s *Store) WriteFile(name string, data []byte) (int, error) {
 			wg.Add(1)
 			go func(i int, b []byte) {
 				defer wg.Done()
-				errs[i] = s.put(s.addrs[i], blockName(name, st, i), b)
+				errs[i] = s.put(ctx, s.addrs[i], blockName(name, st, i), b)
 			}(i, b)
 		}
 		wg.Wait()
@@ -78,138 +119,328 @@ func (s *Store) WriteFile(name string, data []byte) (int, error) {
 	return stripes, nil
 }
 
-func (s *Store) put(addr, name string, data []byte) error {
-	c, err := Dial(addr)
-	if err != nil {
-		return err
-	}
+func (s *Store) put(ctx context.Context, addr, name string, data []byte) error {
+	c := NewClient(addr, s.client)
 	defer c.Close()
-	return c.Put(name, data)
+	return c.Put(ctx, name, data)
 }
 
-// ReadFile reassembles size bytes of the file, reading the data prefixes
-// of all reachable data-bearing blocks in parallel (one TCP stream per
-// server) and falling back to whole-block fetches for anything a degraded
-// stripe needs.
-func (s *Store) ReadFile(name string, size int) ([]byte, error) {
+// ReadStats reports how a ReadFile was served — the observability hook the
+// fault tests assert on.
+type ReadStats struct {
+	// StripesParallel counts stripes served entirely by the p-source
+	// parallel prefix read.
+	StripesParallel int
+	// StripesFallback counts stripes that fell back to the fastest-k
+	// any-k decode after a source failed or straggled.
+	StripesFallback int
+	// CorruptSources counts source reads rejected by checksum
+	// verification.
+	CorruptSources int
+	// BytesFetched counts payload bytes received from servers.
+	BytesFetched int64
+}
+
+// Path summarizes which path served the read.
+func (rs *ReadStats) Path() string {
+	switch {
+	case rs.StripesFallback == 0:
+		return "parallel"
+	case rs.StripesParallel == 0:
+		return "fallback"
+	default:
+		return "mixed"
+	}
+}
+
+// ReadFile reassembles size bytes of the file. Each stripe is first read
+// via the hedged p-source parallel path; on failure or straggling it is
+// decoded from the fastest k responders. The returned stats report which
+// path served each stripe.
+func (s *Store) ReadFile(ctx context.Context, name string, size int) ([]byte, *ReadStats, error) {
 	stripeData := s.code.K() * s.blockSize
 	stripes := (size + stripeData - 1) / stripeData
+	stats := &ReadStats{}
 	out := make([]byte, 0, size)
 	for st := 0; st < stripes; st++ {
-		data, err := s.readStripe(name, st)
+		data, err := s.readStripe(ctx, name, st, stats)
 		if err != nil {
-			return nil, fmt.Errorf("blockserver: stripe %d: %w", st, err)
+			return nil, stats, fmt.Errorf("blockserver: stripe %d: %w", st, err)
 		}
 		out = append(out, data...)
 	}
 	if len(out) < size {
-		return nil, fmt.Errorf("blockserver: short file: %d of %d bytes", len(out), size)
+		return nil, stats, fmt.Errorf("blockserver: short file: %d of %d bytes", len(out), size)
 	}
-	return out[:size], nil
+	return out[:size], stats, nil
 }
 
-// readStripe fetches one stripe's original data.
-func (s *Store) readStripe(name string, st int) ([]byte, error) {
-	n := s.code.N()
+// sourceResult carries one source stream's outcome.
+type sourceResult struct {
+	idx  int
+	data []byte
+	err  error
+}
+
+// readStripe fetches one stripe's original data: hedged parallel prefix
+// reads first, fastest-k fallback second.
+func (s *Store) readStripe(ctx context.Context, name string, st int, stats *ReadStats) ([]byte, error) {
 	p := s.code.P()
 	usize := s.blockSize / s.code.UnitsPerBlock()
 	per := s.code.DataUnitsPerBlock() * usize
 
-	// First pass: fetch every data-bearing block's data prefix in
-	// parallel.
-	prefixes := make([][]byte, n)
+	// Phase 1: fetch every data-bearing block's data prefix in parallel,
+	// bounded by the hedge deadline. The context bound guarantees every
+	// goroutine exits by the deadline, so the WaitGroup cannot leak.
+	hctx, hcancel := context.WithTimeout(ctx, s.hedge)
+	results := make(chan sourceResult, p)
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := Dial(s.addrs[i])
-			if err != nil {
-				return // treated as unavailable
-			}
+			c := NewClient(s.addrs[i], s.client)
 			defer c.Close()
-			data, err := c.GetRange(blockName(name, st, i), 0, per)
-			if err != nil {
-				return
-			}
-			prefixes[i] = data
+			data, err := c.GetRange(hctx, blockName(name, st, i), 0, per)
+			results <- sourceResult{idx: i, data: data, err: err}
 		}(i)
 	}
-	wg.Wait()
-
-	out := make([]byte, s.code.K()*s.blockSize)
-	var missing []int
-	for i := 0; i < p; i++ {
-		if prefixes[i] != nil {
-			copy(out[i*per:(i+1)*per], prefixes[i])
-		} else {
-			missing = append(missing, i)
+	prefixes := make([][]byte, p)
+	ok := 0
+	failed := false
+	for ok < p {
+		r := <-results
+		if r.err != nil {
+			// One bad source is enough to know the pure parallel path
+			// cannot complete: bail out to the any-k fallback immediately
+			// instead of waiting for the hedge deadline.
+			if errors.Is(r.err, ErrCorrupt) {
+				stats.CorruptSources++
+			}
+			failed = true
+			break
 		}
+		prefixes[r.idx] = r.data
+		stats.BytesFetched += int64(len(r.data))
+		ok++
 	}
-	if len(missing) == 0 {
+	hcancel()
+	wg.Wait()
+	if !failed {
+		stats.StripesParallel++
+		out := make([]byte, s.code.K()*s.blockSize)
+		for i := 0; i < p; i++ {
+			copy(out[i*per:(i+1)*per], prefixes[i])
+		}
 		return out, nil
 	}
+	stats.StripesFallback++
+	return s.readStripeAnyK(ctx, name, st, stats)
+}
 
-	// Degraded: fetch whole blocks from every reachable server and let
-	// the codec's parallel-read planner finish the job.
-	blocks := make([][]byte, n)
+// readStripeAnyK decodes one stripe from the fastest k responders: whole
+// blocks are requested from all n servers, the first k intact responses
+// win, and every other stream is cancelled (per-source cancellation via
+// the client's deadline watcher — no goroutine leaks).
+func (s *Store) readStripeAnyK(ctx context.Context, name string, st int, stats *ReadStats) ([]byte, error) {
+	n := s.code.N()
+	k := s.code.K()
+	fctx, fcancel := context.WithCancel(ctx)
+	defer fcancel()
+	results := make(chan sourceResult, n)
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := Dial(s.addrs[i])
-			if err != nil {
-				return
-			}
+			c := NewClient(s.addrs[i], s.client)
 			defer c.Close()
-			data, err := c.Get(blockName(name, st, i))
-			if err != nil {
-				return
-			}
-			blocks[i] = data
+			data, err := c.Get(fctx, blockName(name, st, i))
+			results <- sourceResult{idx: i, data: data, err: err}
 		}(i)
 	}
+	blocks := make([][]byte, n)
+	got, failures := 0, 0
+	var firstErr error
+	for got < k && failures <= n-k {
+		r := <-results
+		if r.err != nil {
+			if errors.Is(r.err, ErrCorrupt) {
+				stats.CorruptSources++
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			failures++
+			continue
+		}
+		blocks[r.idx] = r.data
+		stats.BytesFetched += int64(len(r.data))
+		got++
+	}
+	// Cancel the losers and wait for every stream to exit before decoding.
+	fcancel()
 	wg.Wait()
+	if got < k {
+		return nil, fmt.Errorf("%w: %d of %d blocks readable (first failure: %v)", ErrTooFewSurvivors, got, k, firstErr)
+	}
 	return s.code.ParallelRead(blocks)
 }
 
 // Repair regenerates block failed of a stripe from d helper chunks
 // computed server-side, uploads it to its home server, and reports the
-// bytes that crossed the network.
-func (s *Store) Repair(name string, st, failed int) (trafficBytes int, err error) {
+// bytes that crossed the network. The first d responding helpers win;
+// failed or straggling helpers are replaced by spare candidates, so a dead
+// or slow server cannot stall the repair.
+func (s *Store) Repair(ctx context.Context, name string, st, failed int) (trafficBytes int, err error) {
 	n := s.code.N()
 	d := s.code.D()
-	helpers := make([]int, 0, d)
-	chunks := make([][]byte, 0, d)
-	// Probe helpers in order until d respond.
-	for i := 0; i < n && len(helpers) < d; i++ {
-		if i == failed {
-			continue
+	candidates := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != failed {
+			candidates = append(candidates, i)
 		}
-		c, err := Dial(s.addrs[i])
-		if err != nil {
-			continue
-		}
-		chunk, cerr := c.Chunk(blockName(name, st, i), i, failed)
-		c.Close()
-		if cerr != nil {
-			continue
-		}
-		helpers = append(helpers, i)
-		chunks = append(chunks, chunk)
-		trafficBytes += len(chunk)
 	}
+	fctx, fcancel := context.WithCancel(ctx)
+	defer fcancel()
+	results := make(chan sourceResult, len(candidates))
+	var wg sync.WaitGroup
+	start := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cctx := fctx
+			if s.hedge > 0 {
+				var cancel context.CancelFunc
+				cctx, cancel = context.WithTimeout(fctx, s.hedge)
+				defer cancel()
+			}
+			c := NewClient(s.addrs[i], s.client)
+			defer c.Close()
+			chunk, cerr := c.Chunk(cctx, blockName(name, st, i), i, failed)
+			results <- sourceResult{idx: i, data: chunk, err: cerr}
+		}()
+	}
+	// Contact exactly d helpers up front (the paper's optimal traffic);
+	// promote a spare only when one of them fails, so the healthy-path
+	// network cost stays d chunks.
+	next := 0
+	for next < d {
+		start(candidates[next])
+		next++
+	}
+	pending := d
+	var helpers []int
+	var chunks [][]byte
+	for pending > 0 && len(helpers) < d {
+		r := <-results
+		pending--
+		if r.err != nil {
+			if next < len(candidates) {
+				start(candidates[next])
+				next++
+				pending++
+			}
+			continue
+		}
+		helpers = append(helpers, r.idx)
+		chunks = append(chunks, r.data)
+		trafficBytes += len(r.data)
+	}
+	fcancel()
+	wg.Wait()
 	if len(helpers) < d {
-		return trafficBytes, fmt.Errorf("blockserver: only %d of %d helpers reachable", len(helpers), d)
+		return trafficBytes, fmt.Errorf("%w: only %d of %d helpers responded", ErrTooFewSurvivors, len(helpers), d)
 	}
 	block, err := s.code.RepairBlock(failed, helpers, chunks)
 	if err != nil {
 		return trafficBytes, err
 	}
-	if err := s.put(s.addrs[failed], blockName(name, st, failed), block); err != nil {
+	if err := s.put(ctx, s.addrs[failed], blockName(name, st, failed), block); err != nil {
 		return trafficBytes, err
 	}
 	return trafficBytes, nil
+}
+
+// BlockRef names one block of a striped file.
+type BlockRef struct {
+	Stripe int
+	Block  int
+}
+
+// ScrubReport summarizes a scrub pass.
+type ScrubReport struct {
+	// BlocksChecked counts verify probes issued.
+	BlocksChecked int
+	// Corrupt lists blocks whose server-side checksum no longer matches.
+	Corrupt []BlockRef
+	// Missing lists blocks their home server does not hold.
+	Missing []BlockRef
+	// Unreachable lists blocks whose home server could not be probed
+	// (dial failure or timeout); they cannot be verified or repaired in
+	// place until the server returns or is replaced.
+	Unreachable []BlockRef
+	// Repaired lists blocks regenerated during the pass.
+	Repaired []BlockRef
+	// TrafficBytes counts repair bytes moved across the network.
+	TrafficBytes int
+}
+
+// Scrub audits every block of the file with server-side checksum probes
+// (no block content crosses the network) and, when repair is true,
+// regenerates each corrupt or missing block from d helper chunks — the
+// route by which read-time corruption detection feeds back into
+// redundancy restoration.
+func (s *Store) Scrub(ctx context.Context, name string, size int, repair bool) (*ScrubReport, error) {
+	stripeData := s.code.K() * s.blockSize
+	stripes := (size + stripeData - 1) / stripeData
+	n := s.code.N()
+	rep := &ScrubReport{}
+	for st := 0; st < stripes; st++ {
+		verdicts := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c := NewClient(s.addrs[i], s.client)
+				defer c.Close()
+				verdicts[i] = c.Verify(ctx, blockName(name, st, i))
+			}(i)
+		}
+		wg.Wait()
+		for i, v := range verdicts {
+			rep.BlocksChecked++
+			ref := BlockRef{Stripe: st, Block: i}
+			switch {
+			case v == nil:
+				continue
+			case errors.Is(v, ErrCorrupt):
+				rep.Corrupt = append(rep.Corrupt, ref)
+			case errors.Is(v, ErrNotFound):
+				rep.Missing = append(rep.Missing, ref)
+			default:
+				// The overall deadline expiring fails the scrub; one
+				// unreachable server does not — its blocks are recorded
+				// and skipped, since repair needs the home server up to
+				// accept the regenerated block.
+				if ctx.Err() != nil {
+					return rep, fmt.Errorf("blockserver: scrub verify stripe %d block %d: %w", st, i, v)
+				}
+				rep.Unreachable = append(rep.Unreachable, ref)
+				continue
+			}
+			if repair {
+				traffic, err := s.Repair(ctx, name, st, i)
+				rep.TrafficBytes += traffic
+				if err != nil {
+					return rep, fmt.Errorf("blockserver: scrub repair stripe %d block %d: %w", st, i, err)
+				}
+				rep.Repaired = append(rep.Repaired, ref)
+			}
+		}
+	}
+	return rep, nil
 }
 
 // SplitFile pads data for WriteFile-compatible sizes; exposed for callers

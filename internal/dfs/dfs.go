@@ -32,6 +32,12 @@ var (
 
 	// ErrExists is returned when writing a file name that is taken.
 	ErrExists = errors.New("dfs: file already exists")
+
+	// ErrCorrupt is returned when checksum verification rejects the last
+	// available copy of a block, so a request cannot be served even
+	// degraded. Corruption with surviving redundancy does not surface as
+	// an error: the block is quarantined and decoded around.
+	ErrCorrupt = errors.New("dfs: corrupt block")
 )
 
 // Scheme is a redundancy scheme a file can be stored with.
@@ -130,6 +136,9 @@ type Stats struct {
 	// BytesRepair counts bytes transferred between datanodes during
 	// reconstructions.
 	BytesRepair int64
+	// CorruptDetected counts blocks quarantined by read-time checksum
+	// verification (scrub findings are reported separately).
+	CorruptDetected int64
 }
 
 // FS is the simulated distributed file system.

@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"errors"
 	"fmt"
 
 	"carousel/internal/cluster"
@@ -39,6 +40,11 @@ func (fs *FS) Read(p *cluster.Proc, client *cluster.Node, name string, mode Read
 	if err != nil {
 		return nil, err
 	}
+	// Datanodes verify each block against its ingest checksum before
+	// serving it: corruption is quarantined here, so the read below sees
+	// the block as unavailable and decodes around it instead of returning
+	// bad data. The quarantined block is then a scrub/Reconstruct target.
+	quarantined := fs.quarantineCorrupt(f)
 	res := &ReadResult{Data: make([]byte, f.size)}
 	switch s := f.scheme.(type) {
 	case Replication:
@@ -51,6 +57,9 @@ func (fs *FS) Read(p *cluster.Proc, client *cluster.Node, name string, mode Read
 		err = fmt.Errorf("dfs: unknown scheme %T", f.scheme)
 	}
 	if err != nil {
+		if quarantined > 0 && errors.Is(err, ErrUnavailable) {
+			err = fmt.Errorf("%w (%d corrupt block(s) quarantined): %w", ErrCorrupt, quarantined, err)
+		}
 		return nil, err
 	}
 	fs.stats.BytesRead += res.BytesFetched

@@ -35,6 +35,27 @@ func (fs *FS) CorruptBlock(name string, stripeIdx, blockIdx, offset int) error {
 	return nil
 }
 
+// quarantineCorrupt removes the replicas of every block of f whose content
+// no longer matches its ingest checksum — the read-time integrity gate.
+// It returns the number of blocks quarantined and counts them in the FS
+// stats.
+func (fs *FS) quarantineCorrupt(f *File) int {
+	quarantined := 0
+	for _, st := range f.stripes {
+		for _, b := range st.blocks {
+			if len(b.locations) == 0 {
+				continue
+			}
+			if checksum(b.content) != b.crc {
+				b.locations = nil
+				quarantined++
+			}
+		}
+	}
+	fs.stats.CorruptDetected += int64(quarantined)
+	return quarantined
+}
+
 // ScrubReport lists the corrupted blocks a scrub pass found.
 type ScrubReport struct {
 	// Corrupted holds (file, stripe, block) triples whose content no

@@ -1,0 +1,177 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startEcho runs an echo server behind the injector and returns its
+// address. Connections are tracked so cleanup unblocks blackholed I/O.
+func startEcho(t *testing.T, in *Injector) string {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := in.Wrap(raw)
+	var mu sync.Mutex
+	var conns []net.Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+		wg.Wait()
+	})
+	return raw.Addr().String()
+}
+
+// echo sends msg and reads len(msg) bytes back.
+func echo(t *testing.T, addr string, msg []byte, timeout time.Duration) ([]byte, error) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	if _, err := c.Write(msg); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, len(msg))
+	_, err = io.ReadFull(c, buf)
+	return buf, err
+}
+
+func TestTransparentByDefault(t *testing.T) {
+	addr := startEcho(t, NewInjector())
+	msg := bytes.Repeat([]byte("x"), 64)
+	got, err := echo(t, addr, msg, time.Second)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo through transparent injector: %q, %v", got, err)
+	}
+}
+
+func TestDelaySlowsResponses(t *testing.T) {
+	in := NewInjector()
+	in.SetDefault(Policy{DelayWrite: 80 * time.Millisecond})
+	addr := startEcho(t, in)
+	start := time.Now()
+	if _, err := echo(t, addr, []byte("ping"), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("delayed echo returned in %v, want >= 80ms", elapsed)
+	}
+}
+
+func TestBlackholeHangsUntilDeadline(t *testing.T) {
+	in := NewInjector()
+	in.SetDefault(Policy{Blackhole: true})
+	addr := startEcho(t, in)
+	_, err := echo(t, addr, []byte("ping"), 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("blackholed echo succeeded")
+	}
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Fatalf("blackholed echo failed with %v, want a timeout", err)
+	}
+}
+
+func TestBlackholeLiftsOnPolicyChange(t *testing.T) {
+	in := NewInjector()
+	in.SetDefault(Policy{Blackhole: true})
+	addr := startEcho(t, in)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		in.SetDefault(Policy{})
+	}()
+	msg := []byte("recovered")
+	got, err := echo(t, addr, msg, 2*time.Second)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo after lifting blackhole: %q, %v", got, err)
+	}
+}
+
+func TestCorruptWritesFlipsABit(t *testing.T) {
+	in := NewInjector()
+	in.SetDefault(Policy{CorruptWrites: true})
+	addr := startEcho(t, in)
+	msg := bytes.Repeat([]byte{0xAA}, 64)
+	got, err := echo(t, addr, msg, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("corrupting echo returned intact bytes")
+	}
+	diff := 0
+	for i := range got {
+		diff += popcount(got[i] ^ msg[i])
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", diff)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestCutAfterBytes(t *testing.T) {
+	in := NewInjector()
+	in.SetDefault(Policy{CutAfterBytes: 32})
+	addr := startEcho(t, in)
+	msg := bytes.Repeat([]byte("y"), 128)
+	got, err := echo(t, addr, msg, time.Second)
+	if err == nil {
+		t.Fatalf("echo across a cut connection succeeded: %d bytes", len(got))
+	}
+}
+
+func TestRejectConnPartitionsPeer(t *testing.T) {
+	in := NewInjector()
+	in.SetPeer("127.0.0.1", Policy{RejectConn: true})
+	addr := startEcho(t, in)
+	if _, err := echo(t, addr, []byte("ping"), 200*time.Millisecond); err == nil {
+		t.Fatal("echo through a partition succeeded")
+	}
+	// Healing the partition restores service on new connections.
+	in.ClearPeer("127.0.0.1")
+	msg := []byte("healed")
+	got, err := echo(t, addr, msg, 2*time.Second)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo after healing partition: %q, %v", got, err)
+	}
+}

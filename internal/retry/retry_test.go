@@ -1,0 +1,97 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	p := Policy{Attempts: 5, Base: 10 * time.Millisecond, Max: 60 * time.Millisecond}
+	want := []time.Duration{
+		0,
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		60 * time.Millisecond, // capped
+		60 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Jitter: 0.5, Rand: func() float64 { return 0 }}
+	if got := p.jittered(p.Backoff(1)); got != 75*time.Millisecond {
+		t.Errorf("jitter at rand=0: %v, want 75ms", got)
+	}
+	p.Rand = func() float64 { return 0.999999 }
+	if got := p.jittered(p.Backoff(1)); got < 124*time.Millisecond || got > 125*time.Millisecond {
+		t.Errorf("jitter at rand~1: %v, want ~125ms", got)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 4, Base: time.Microsecond}, nil, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do: err=%v calls=%d, want nil/3", err, calls)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	permanent := errors.New("permanent")
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 5, Base: time.Microsecond},
+		func(err error) bool { return !errors.Is(err, permanent) },
+		func(context.Context) error { calls++; return permanent })
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("Do: err=%v calls=%d, want permanent after 1 call", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	transient := errors.New("transient")
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 3, Base: time.Microsecond}, nil,
+		func(context.Context) error { calls++; return transient })
+	if !errors.Is(err, transient) || calls != 3 {
+		t.Fatalf("Do: err=%v calls=%d, want transient after 3 calls", err, calls)
+	}
+}
+
+func TestDoHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	transient := errors.New("transient")
+	err := Do(ctx, Policy{Attempts: 10, Base: time.Hour}, nil, func(context.Context) error {
+		calls++
+		cancel() // cancel during the first attempt: the backoff sleep must abort
+		return transient
+	})
+	if !errors.Is(err, transient) || calls != 1 {
+		t.Fatalf("Do: err=%v calls=%d, want transient after 1 call", err, calls)
+	}
+}
+
+func TestDoCancelledBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Do(ctx, Policy{Attempts: 3}, nil, func(context.Context) error {
+		t.Fatal("op ran under a dead context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do: %v, want context.Canceled", err)
+	}
+}

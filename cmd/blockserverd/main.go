@@ -4,6 +4,11 @@
 // make a minimal deployed Carousel store; examples/tcpcluster drives the
 // same flow in-process.
 //
+// The -obs-addr flag starts the observability endpoint: /metrics
+// (Prometheus text), /debug/vars (expvar), /debug/pprof/ and /debug/traces
+// (recent read/repair span trees). `carouselctl stats` scrapes a set of
+// these endpoints and merges them into one cluster view.
+//
 // The -fault-* flags interpose the faultnet injection harness between the
 // socket and the protocol, so a deployed cluster can be exercised under
 // the same straggler/partition/corruption faults the test matrix uses:
@@ -16,12 +21,11 @@
 //
 // Usage:
 //
-//	blockserverd [-addr 127.0.0.1:7070] [-n 12 -k 6 -d 10 -p 12] [-fault-...]
+//	blockserverd [-addr 127.0.0.1:7070] [-obs-addr 127.0.0.1:7071] [-n 12 -k 6 -d 10 -p 12] [-fault-...]
 package main
 
 import (
 	"flag"
-	"fmt"
 	"net"
 	"os"
 	"os/signal"
@@ -32,10 +36,13 @@ import (
 	"carousel/internal/blockserver"
 	"carousel/internal/carousel"
 	"carousel/internal/faultnet"
+	"carousel/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP address (/metrics, /debug/vars, /debug/pprof, /debug/traces); empty disables")
+	verbose := flag.Bool("v", false, "debug-level logging")
 	n := flag.Int("n", 12, "total blocks per stripe")
 	k := flag.Int("k", 6, "data blocks' worth of content per stripe")
 	d := flag.Int("d", 10, "repair helpers")
@@ -47,16 +54,17 @@ func main() {
 	faultPartition := flag.String("fault-partition", "", "inject: comma-separated peer hosts whose connections are rejected")
 	flag.Parse()
 
+	log := obs.SetDefaultLogger(*verbose)
 	code, err := carousel.New(*n, *k, *d, *p)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "blockserverd:", err)
+		log.Error("invalid code parameters", "err", err)
 		os.Exit(1)
 	}
 	srv := blockserver.NewServer(code)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "blockserverd:", err)
+		log.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
 	policy := faultnet.Policy{
@@ -78,19 +86,30 @@ func main() {
 	}
 	bound, err := srv.StartListener(ln)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "blockserverd:", err)
+		log.Error("start failed", "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("blockserverd: serving carousel(%d,%d,%d,%d) blocks on %s\n", *n, *k, *d, *p, bound)
+	log.Info("serving", "n", *n, "k", *k, "d", *d, "p", *p, "addr", bound)
+	if *obsAddr != "" {
+		obsBound, stopObs, err := obs.Serve(*obsAddr)
+		if err != nil {
+			log.Error("observability endpoint failed", "addr", *obsAddr, "err", err)
+			os.Exit(1)
+		}
+		defer stopObs()
+		log.Info("observability endpoint up", "addr", obsBound,
+			"endpoints", "/metrics /debug/vars /debug/pprof/ /debug/traces")
+	}
 	if injected {
-		fmt.Printf("blockserverd: FAULT INJECTION ACTIVE: delay=%v blackhole=%v corrupt=%v cut-after=%d partition=%q\n",
-			*faultDelay, *faultBlackhole, *faultCorrupt, *faultCutAfter, *faultPartition)
+		log.Warn("FAULT INJECTION ACTIVE",
+			"delay", *faultDelay, "blackhole", *faultBlackhole, "corrupt", *faultCorrupt,
+			"cut_after", *faultCutAfter, "partition", *faultPartition)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("blockserverd: shutting down")
+	log.Info("shutting down")
 	// Close stops accepting, cancels in-flight connections, and joins
 	// every handler; bound it so a wedged socket cannot hang shutdown.
 	done := make(chan error, 1)
@@ -98,11 +117,11 @@ func main() {
 	select {
 	case err := <-done:
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "blockserverd:", err)
+			log.Error("shutdown error", "err", err)
 			os.Exit(1)
 		}
 	case <-time.After(10 * time.Second):
-		fmt.Fprintln(os.Stderr, "blockserverd: shutdown timed out")
+		log.Error("shutdown timed out")
 		os.Exit(1)
 	}
 }

@@ -8,13 +8,15 @@
 //	carouselctl info   <out-dir>
 //	carouselctl decode <out-dir> <output-file>
 //	carouselctl repair -block <i> <out-dir>
+//	carouselctl stats  -addrs host:port,host:port,...
 //
 // encode writes out-dir/block_NNN.bin plus a manifest.json recording the
 // code parameters and the original size. decode tolerates up to n-k
 // missing or deleted block files (it uses the Section VII parallel read,
 // falling back to an any-k decode). repair regenerates one missing block
 // from d surviving blocks, moving only the optimal amount of data off the
-// helper blocks.
+// helper blocks. stats scrapes the -obs-addr endpoints of a set of
+// blockserverd nodes and prints merged cluster-wide metrics.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 
 	"carousel/internal/blockserver"
 	"carousel/internal/carousel"
+	"carousel/internal/obs"
 	"carousel/internal/reedsolomon"
 )
 
@@ -54,11 +57,13 @@ func main() {
 		err = cmdRepair(os.Args[2:])
 	case "verify":
 		err = cmdVerify(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
 	default:
 		usage()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "carouselctl:", err)
+		obs.SetDefaultLogger(false).Error("command failed", "cmd", os.Args[1], "err", err)
 		os.Exit(exitCode(err))
 	}
 }
@@ -104,7 +109,8 @@ func usage() {
   carouselctl info   <out-dir>
   carouselctl decode <out-dir> <output-file>
   carouselctl repair -block <i> <out-dir>
-  carouselctl verify <out-dir>`)
+  carouselctl verify <out-dir>
+  carouselctl stats  -addrs host:port,host:port,... [-raw]`)
 	os.Exit(2)
 }
 

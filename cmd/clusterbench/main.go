@@ -32,6 +32,7 @@ import (
 	"carousel/internal/cluster"
 	"carousel/internal/dfs"
 	"carousel/internal/mapreduce"
+	"carousel/internal/obs"
 	"carousel/internal/reedsolomon"
 	"carousel/internal/workload"
 )
@@ -61,7 +62,7 @@ func main() {
 	scale := flag.Int("scale", 32, "scale-down factor for data sizes and bandwidths")
 	flag.Parse()
 	if *scale < 1 {
-		fmt.Fprintln(os.Stderr, "clusterbench: scale must be >= 1")
+		obs.SetDefaultLogger(false).Error("scale must be >= 1")
 		os.Exit(1)
 	}
 	if *fig == "all" || *fig == "9" {
@@ -235,7 +236,7 @@ func figDegraded(scale int) error {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "clusterbench:", err)
+	obs.SetDefaultLogger(false).Error("benchmark failed", "err", err)
 	os.Exit(1)
 }
 

@@ -33,6 +33,7 @@ import (
 	"carousel/internal/lrc"
 	"carousel/internal/matrix"
 	"carousel/internal/mbr"
+	"carousel/internal/obs"
 	"carousel/internal/reedsolomon"
 )
 
@@ -45,9 +46,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write throughput results to "+jsonPath)
 	flag.Parse()
 
+	log := obs.SetDefaultLogger(false)
 	ks, err := parseKs(*ksFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "codingbench:", err)
+		log.Error("bad -ks", "err", err)
 		os.Exit(1)
 	}
 	run := func(name string, fn func([]int, int, int) error) {
@@ -55,7 +57,7 @@ func main() {
 			return
 		}
 		if err := fn(ks, *mb, *reps); err != nil {
-			fmt.Fprintf(os.Stderr, "codingbench: fig %s: %v\n", name, err)
+			log.Error("figure failed", "fig", name, "err", err)
 			os.Exit(1)
 		}
 	}
@@ -71,7 +73,7 @@ func main() {
 	run("tol", func([]int, int, int) error { return tolerance() })
 	if *jsonOut {
 		if err := writeJSON(*mb, *reps); err != nil {
-			fmt.Fprintln(os.Stderr, "codingbench:", err)
+			log.Error("writing JSON failed", "err", err)
 			os.Exit(1)
 		}
 	}

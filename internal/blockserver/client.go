@@ -8,8 +8,43 @@ import (
 	"net"
 	"time"
 
+	"carousel/internal/obs"
 	"carousel/internal/retry"
 )
+
+// Client-side metrics. RPC counts are labeled by op and outcome (created
+// through the registry per call — a map read, trivial next to a network
+// round trip); retries, wire bytes, and checksum rejections are flat
+// counters cached here. Latency histograms are per peer, interned once per
+// Client.
+var (
+	cliRetries  = obs.Default().Counter("blockserver_client_retries_total")
+	cliFrameCRC = obs.Default().Counter("blockserver_client_frame_crc_failures_total")
+	cliCorrupt  = obs.Default().Counter("blockserver_client_corrupt_blocks_total")
+	cliBytesTx  = obs.Default().Counter("blockserver_client_bytes_tx_total")
+	cliBytesRx  = obs.Default().Counter("blockserver_client_bytes_rx_total")
+)
+
+// outcomeOf maps an RPC result onto the outcome label taxonomy, mirroring
+// the sentinel errors carouselctl turns into exit codes.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrNotFound):
+		return "not_found"
+	case errors.Is(err, ErrCorrupt):
+		return "corrupt"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, ErrRemote):
+		return "remote"
+	default:
+		return "error"
+	}
+}
 
 // ErrRemote wraps in-band application errors reported by the server
 // (anything it answers with statusError). The connection stays in sync, so
@@ -53,6 +88,7 @@ type Client struct {
 	addr string
 	opts Options
 	conn net.Conn
+	lat  *obs.Histogram // per-peer RPC latency, interned at construction
 }
 
 // Dial connects to a server with default options.
@@ -63,7 +99,7 @@ func Dial(addr string) (*Client, error) {
 // DialContext connects to a server, bounding the dial by ctx and
 // opts.DialTimeout.
 func DialContext(ctx context.Context, addr string, opts Options) (*Client, error) {
-	c := &Client{addr: addr, opts: opts.withDefaults()}
+	c := NewClient(addr, opts)
 	if _, err := c.ensure(ctx); err != nil {
 		return nil, err
 	}
@@ -74,7 +110,11 @@ func DialContext(ctx context.Context, addr string, opts Options) (*Client, error
 // hedged read path wants, so dial failures surface inside the per-source
 // context instead of up front.
 func NewClient(addr string, opts Options) *Client {
-	return &Client{addr: addr, opts: opts.withDefaults()}
+	return &Client{
+		addr: addr,
+		opts: opts.withDefaults(),
+		lat:  obs.Default().Histogram("blockserver_client_rpc_ns", "peer", addr),
+	}
 }
 
 // Close closes the connection.
@@ -117,9 +157,12 @@ func inBand(err error) bool {
 
 // do runs one idempotent exchange with deadline enforcement, poisoning,
 // and retry. exchange must write the full request and read the full
-// response.
-func (c *Client) do(ctx context.Context, exchange func(conn net.Conn) error) error {
-	return retry.Do(ctx, c.opts.Retry, retryable, func(ctx context.Context) error {
+// response. op labels the RPC in metrics.
+func (c *Client) do(ctx context.Context, op string, exchange func(conn net.Conn) error) error {
+	start := time.Now()
+	attempts := 0
+	err := retry.Do(ctx, c.opts.Retry, retryable, func(ctx context.Context) error {
+		attempts++
 		conn, err := c.ensure(ctx)
 		if err != nil {
 			return classify(err)
@@ -145,6 +188,9 @@ func (c *Client) do(ctx context.Context, exchange func(conn net.Conn) error) err
 		close(stop)
 		<-watcherDone
 		if err != nil {
+			if errors.Is(err, errFrameChecksum) {
+				cliFrameCRC.Inc()
+			}
 			if !inBand(err) {
 				// Short read/write, malformed or corrupt frame, timeout:
 				// the stream position is unknown — kill the connection.
@@ -158,6 +204,17 @@ func (c *Client) do(ctx context.Context, exchange func(conn net.Conn) error) err
 		conn.SetDeadline(time.Time{})
 		return nil
 	})
+	if attempts > 1 {
+		cliRetries.Add(int64(attempts - 1))
+	}
+	if errors.Is(err, ErrCorrupt) {
+		cliCorrupt.Inc()
+	}
+	obs.Default().Counter("blockserver_client_rpcs_total", "op", op, "outcome", outcomeOf(err)).Inc()
+	if c.lat != nil {
+		c.lat.ObserveSince(start)
+	}
+	return err
 }
 
 // request sends the op header and name.
@@ -170,7 +227,7 @@ func request(conn net.Conn, op byte, name string) error {
 
 // Put stores a block under name.
 func (c *Client) Put(ctx context.Context, name string, data []byte) error {
-	return c.do(ctx, func(conn net.Conn) error {
+	err := c.do(ctx, "put", func(conn net.Conn) error {
 		if err := request(conn, opPut, name); err != nil {
 			return err
 		}
@@ -180,12 +237,16 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) error {
 		_, err := readResponse(conn)
 		return err
 	})
+	if err == nil {
+		cliBytesTx.Add(int64(len(data)))
+	}
+	return err
 }
 
 // Get fetches a whole block.
 func (c *Client) Get(ctx context.Context, name string) ([]byte, error) {
 	var out []byte
-	err := c.do(ctx, func(conn net.Conn) error {
+	err := c.do(ctx, "get", func(conn net.Conn) error {
 		if err := request(conn, opGet, name); err != nil {
 			return err
 		}
@@ -196,6 +257,7 @@ func (c *Client) Get(ctx context.Context, name string) ([]byte, error) {
 		out = payload
 		return nil
 	})
+	cliBytesRx.Add(int64(len(out)))
 	return out, err
 }
 
@@ -203,7 +265,7 @@ func (c *Client) Get(ctx context.Context, name string) ([]byte, error) {
 // pulls only the data prefix of a Carousel block.
 func (c *Client) GetRange(ctx context.Context, name string, off, length int) ([]byte, error) {
 	var out []byte
-	err := c.do(ctx, func(conn net.Conn) error {
+	err := c.do(ctx, "range", func(conn net.Conn) error {
 		if err := request(conn, opRange, name); err != nil {
 			return err
 		}
@@ -220,6 +282,7 @@ func (c *Client) GetRange(ctx context.Context, name string, off, length int) ([]
 		out = payload
 		return nil
 	})
+	cliBytesRx.Add(int64(len(out)))
 	return out, err
 }
 
@@ -227,7 +290,7 @@ func (c *Client) GetRange(ctx context.Context, name string, off, length int) ([]
 // block index; only blockSize/alpha bytes come back.
 func (c *Client) Chunk(ctx context.Context, name string, helper, failed int) ([]byte, error) {
 	var out []byte
-	err := c.do(ctx, func(conn net.Conn) error {
+	err := c.do(ctx, "chunk", func(conn net.Conn) error {
 		if err := request(conn, opChunk, name); err != nil {
 			return err
 		}
@@ -244,12 +307,13 @@ func (c *Client) Chunk(ctx context.Context, name string, helper, failed int) ([]
 		out = payload
 		return nil
 	})
+	cliBytesRx.Add(int64(len(out)))
 	return out, err
 }
 
 // Delete removes a block.
 func (c *Client) Delete(ctx context.Context, name string) error {
-	return c.do(ctx, func(conn net.Conn) error {
+	return c.do(ctx, "delete", func(conn net.Conn) error {
 		if err := request(conn, opDelete, name); err != nil {
 			return err
 		}
@@ -261,7 +325,7 @@ func (c *Client) Delete(ctx context.Context, name string) error {
 // Stat returns the size of a block.
 func (c *Client) Stat(ctx context.Context, name string) (int, error) {
 	var size int
-	err := c.do(ctx, func(conn net.Conn) error {
+	err := c.do(ctx, "stat", func(conn net.Conn) error {
 		if err := request(conn, opStat, name); err != nil {
 			return err
 		}
@@ -282,7 +346,7 @@ func (c *Client) Stat(ctx context.Context, name string) (int, error) {
 // for an intact block, ErrCorrupt for detected bit rot, ErrNotFound for a
 // missing block. No block content crosses the network.
 func (c *Client) Verify(ctx context.Context, name string) error {
-	return c.do(ctx, func(conn net.Conn) error {
+	return c.do(ctx, "verify", func(conn net.Conn) error {
 		if err := request(conn, opVerify, name); err != nil {
 			return err
 		}

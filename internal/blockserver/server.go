@@ -6,7 +6,65 @@ import (
 	"sync"
 
 	"carousel/internal/carousel"
+	"carousel/internal/obs"
 )
+
+// Server-side metrics, shared by every Server in the process (the registry
+// is process-global; per-node separation comes from scraping each node's
+// own /metrics endpoint).
+var (
+	srvConnsOpen  = obs.Default().Gauge("blockserver_server_open_connections")
+	srvConnsTotal = obs.Default().Counter("blockserver_server_connections_total")
+	srvBlocks     = obs.Default().Gauge("blockserver_server_blocks")
+	srvBlockBytes = obs.Default().Gauge("blockserver_server_block_bytes")
+	srvBytesTx    = obs.Default().Counter("blockserver_server_bytes_tx_total")
+	srvBytesRx    = obs.Default().Counter("blockserver_server_bytes_rx_total")
+)
+
+// opName names a protocol opcode for the rpcs_total op label.
+func opName(op byte) string {
+	switch op {
+	case opPut:
+		return "put"
+	case opGet:
+		return "get"
+	case opRange:
+		return "range"
+	case opChunk:
+		return "chunk"
+	case opDelete:
+		return "delete"
+	case opStat:
+		return "stat"
+	case opVerify:
+		return "verify"
+	}
+	return "unknown"
+}
+
+// statusName names a response status for the rpcs_total status label.
+func statusName(st byte) string {
+	switch st {
+	case statusOK:
+		return "ok"
+	case statusNotFound:
+		return "not_found"
+	case statusCorrupt:
+		return "corrupt"
+	}
+	return "error"
+}
+
+// reply records the RPC outcome and sends the response. Every handle arm
+// funnels through here so the op/status counter and tx byte count cover
+// all served requests.
+func reply(conn net.Conn, op, st byte, payload []byte) error {
+	obs.Default().Counter("blockserver_server_rpcs_total", "op", opName(op), "status", statusName(st)).Inc()
+	if st == statusOK {
+		srvBytesTx.Add(int64(len(payload)))
+	}
+	return respond(conn, st, payload)
+}
 
 // storedBlock is one block at rest: its content plus the CRC32C computed at
 // ingest. Every serving path re-verifies content against the CRC, so bit
@@ -131,6 +189,9 @@ func (s *Server) Close() error {
 // requests.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	srvConnsTotal.Inc()
+	srvConnsOpen.Add(1)
+	defer srvConnsOpen.Add(-1)
 	for {
 		var op [1]byte
 		if _, err := conn.Read(op[:]); err != nil {
@@ -169,17 +230,25 @@ func (s *Server) handle(conn net.Conn, op byte, name string) error {
 		if err != nil {
 			return err
 		}
+		srvBytesRx.Add(int64(len(data)))
 		s.mu.Lock()
+		prev, existed := s.blocks[name]
 		s.blocks[name] = storedBlock{data: data, crc: Checksum(data)}
 		s.mu.Unlock()
-		return respond(conn, statusOK, nil)
+		if existed {
+			srvBlockBytes.Add(int64(len(data) - len(prev.data)))
+		} else {
+			srvBlocks.Add(1)
+			srvBlockBytes.Add(int64(len(data)))
+		}
+		return reply(conn, op, statusOK, nil)
 
 	case opGet:
 		b, st := s.load(name)
 		if st != statusOK {
-			return respond(conn, st, []byte(name))
+			return reply(conn, op, st, []byte(name))
 		}
-		return respond(conn, statusOK, b.data)
+		return reply(conn, op, statusOK, b.data)
 
 	case opRange:
 		off, err := readU32(conn)
@@ -192,12 +261,12 @@ func (s *Server) handle(conn net.Conn, op byte, name string) error {
 		}
 		b, st := s.load(name)
 		if st != statusOK {
-			return respond(conn, st, []byte(name))
+			return reply(conn, op, st, []byte(name))
 		}
 		if int(off)+int(length) > len(b.data) {
-			return respond(conn, statusError, []byte(fmt.Sprintf("range [%d,%d) exceeds block of %d bytes", off, off+length, len(b.data))))
+			return reply(conn, op, statusError, []byte(fmt.Sprintf("range [%d,%d) exceeds block of %d bytes", off, off+length, len(b.data))))
 		}
-		return respond(conn, statusOK, b.data[off:off+length])
+		return reply(conn, op, statusOK, b.data[off:off+length])
 
 	case opChunk:
 		helper, err := readU32(conn)
@@ -209,44 +278,49 @@ func (s *Server) handle(conn net.Conn, op byte, name string) error {
 			return err
 		}
 		if s.code == nil {
-			return respond(conn, statusError, []byte("server has no code configured"))
+			return reply(conn, op, statusError, []byte("server has no code configured"))
 		}
 		b, st := s.load(name)
 		if st != statusOK {
-			return respond(conn, st, []byte(name))
+			return reply(conn, op, st, []byte(name))
 		}
 		chunk, err := s.code.HelperChunk(int(helper), int(failed), b.data)
 		if err != nil {
-			return respond(conn, statusError, []byte(err.Error()))
+			return reply(conn, op, statusError, []byte(err.Error()))
 		}
-		return respond(conn, statusOK, chunk)
+		return reply(conn, op, statusOK, chunk)
 
 	case opDelete:
 		s.mu.Lock()
+		prev, existed := s.blocks[name]
 		delete(s.blocks, name)
 		s.mu.Unlock()
-		return respond(conn, statusOK, nil)
+		if existed {
+			srvBlocks.Add(-1)
+			srvBlockBytes.Add(-int64(len(prev.data)))
+		}
+		return reply(conn, op, statusOK, nil)
 
 	case opStat:
 		b, st := s.load(name)
 		if st != statusOK {
-			return respond(conn, st, []byte(name))
+			return reply(conn, op, st, []byte(name))
 		}
 		var size [4]byte
 		writeU32Into(size[:], uint32(len(b.data)))
-		return respond(conn, statusOK, size[:])
+		return reply(conn, op, statusOK, size[:])
 
 	case opVerify:
 		// A scrub primitive: re-checksum the block server-side without
 		// shipping its content. statusOK means intact.
 		_, st := s.load(name)
 		if st != statusOK {
-			return respond(conn, st, []byte(name))
+			return reply(conn, op, st, []byte(name))
 		}
-		return respond(conn, statusOK, nil)
+		return reply(conn, op, statusOK, nil)
 
 	default:
-		return respond(conn, statusError, []byte(fmt.Sprintf("unknown op %d", op)))
+		return reply(conn, op, statusError, []byte(fmt.Sprintf("unknown op %d", op)))
 	}
 }
 

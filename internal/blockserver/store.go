@@ -8,7 +8,23 @@ import (
 	"time"
 
 	"carousel/internal/carousel"
+	"carousel/internal/obs"
 	"carousel/internal/reedsolomon"
+)
+
+// Store read/repair metrics. These are the cluster-level counterparts of
+// the per-call ReadStats: every ReadStats field increments one of them, so
+// a single scrape reflects the same taxonomy the fault tests assert on.
+var (
+	mStripesParallel = obs.Default().Counter("store_parallel_stripes_total")
+	mStripesFallback = obs.Default().Counter("store_fallback_stripes_total")
+	mCorruptSources  = obs.Default().Counter("store_corrupt_sources_total")
+	mBytesFetched    = obs.Default().Counter("store_bytes_fetched_total")
+	mReadNS          = obs.Default().Histogram("store_read_ns")
+	mRepairs         = obs.Default().Counter("store_repairs_total")
+	mRepairTraffic   = obs.Default().Counter("store_repair_traffic_bytes_total")
+	mSparePromotions = obs.Default().Counter("store_spare_promotions_total")
+	mRepairNS        = obs.Default().Histogram("store_repair_ns")
 )
 
 // Store stripes files across n block servers with a Carousel code: block i
@@ -126,7 +142,10 @@ func (s *Store) put(ctx context.Context, addr, name string, data []byte) error {
 }
 
 // ReadStats reports how a ReadFile was served — the observability hook the
-// fault tests assert on.
+// fault tests assert on. Every field increments the matching store_*
+// counter in the process registry as it is recorded, and TraceID links the
+// call to its span tree, so the per-call struct, the scraped metrics, and
+// the trace are one consistent surface.
 type ReadStats struct {
 	// StripesParallel counts stripes served entirely by the p-source
 	// parallel prefix read.
@@ -135,10 +154,42 @@ type ReadStats struct {
 	// any-k decode after a source failed or straggled.
 	StripesFallback int
 	// CorruptSources counts source reads rejected by checksum
-	// verification.
+	// verification, including losers whose verdicts arrived after the
+	// stripe was already decided.
 	CorruptSources int
-	// BytesFetched counts payload bytes received from servers.
+	// BytesFetched counts payload bytes received from servers, including
+	// bytes from streams that lost the any-k race.
 	BytesFetched int64
+	// TraceID identifies the read's span tree in the process tracer; fetch
+	// it with obs.DefaultTracer().Spans(TraceID) or /debug/traces.
+	TraceID uint64
+}
+
+// parallelStripe records a stripe served by the pure parallel path.
+func (rs *ReadStats) parallelStripe() {
+	rs.StripesParallel++
+	mStripesParallel.Inc()
+}
+
+// fallbackStripe records a stripe that fell back to the any-k decode.
+func (rs *ReadStats) fallbackStripe() {
+	rs.StripesFallback++
+	mStripesFallback.Inc()
+}
+
+// source folds one source stream's outcome into the stats — the single
+// accounting point for both the winners and the drained losers, so no
+// stream's bytes or corruption verdict is ever dropped.
+func (rs *ReadStats) source(r sourceResult) {
+	if r.err != nil {
+		if errors.Is(r.err, ErrCorrupt) {
+			rs.CorruptSources++
+			mCorruptSources.Inc()
+		}
+		return
+	}
+	rs.BytesFetched += int64(len(r.data))
+	mBytesFetched.Add(int64(len(r.data)))
 }
 
 // Path summarizes which path served the read.
@@ -158,18 +209,34 @@ func (rs *ReadStats) Path() string {
 // decoded from the fastest k responders. The returned stats report which
 // path served each stripe.
 func (s *Store) ReadFile(ctx context.Context, name string, size int) ([]byte, *ReadStats, error) {
+	t0 := time.Now()
 	stripeData := s.code.K() * s.blockSize
 	stripes := (size + stripeData - 1) / stripeData
-	stats := &ReadStats{}
+	ctx, sp := obs.StartSpan(ctx, "store.read")
+	sp.SetAttr("file", name).SetAttr("size", size).SetAttr("stripes", stripes)
+	defer func() {
+		sp.End()
+		mReadNS.Observe(time.Since(t0).Nanoseconds())
+	}()
+	stats := &ReadStats{TraceID: sp.TraceID()}
 	out := make([]byte, 0, size)
 	for st := 0; st < stripes; st++ {
 		data, err := s.readStripe(ctx, name, st, stats)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
 			return nil, stats, fmt.Errorf("blockserver: stripe %d: %w", st, err)
 		}
 		out = append(out, data...)
 	}
-	if len(out) < size {
+	// The verify stage: the per-block CRC verdicts arrived in-band with the
+	// fetches; here the reassembled file is checked for completeness and the
+	// corruption tally is pinned onto the trace.
+	_, vsp := obs.StartSpan(ctx, "verify")
+	vsp.SetAttr("bytes", len(out)).SetAttr("corrupt_sources", stats.CorruptSources)
+	short := len(out) < size
+	vsp.End()
+	sp.SetAttr("path", stats.Path())
+	if short {
 		return nil, stats, fmt.Errorf("blockserver: short file: %d of %d bytes", len(out), size)
 	}
 	return out[:size], stats, nil
@@ -185,14 +252,27 @@ type sourceResult struct {
 // readStripe fetches one stripe's original data: hedged parallel prefix
 // reads first, fastest-k fallback second.
 func (s *Store) readStripe(ctx context.Context, name string, st int, stats *ReadStats) ([]byte, error) {
+	ctx, ssp := obs.StartSpan(ctx, "stripe")
+	ssp.SetAttr("stripe", st)
+	defer ssp.End()
+
+	// Locate: resolve which servers hold this stripe's data prefixes. The
+	// placement is deterministic (block i lives on server i), so this stage
+	// is pure bookkeeping — but it is a real stage of the paper's read
+	// pipeline and carrying it as a span keeps the decomposition uniform.
 	p := s.code.P()
+	_, lsp := obs.StartSpan(ctx, "locate")
 	usize := s.blockSize / s.code.UnitsPerBlock()
 	per := s.code.DataUnitsPerBlock() * usize
+	lsp.SetAttr("sources", p).SetAttr("bytes_per_source", per)
+	lsp.End()
 
 	// Phase 1: fetch every data-bearing block's data prefix in parallel,
 	// bounded by the hedge deadline. The context bound guarantees every
 	// goroutine exits by the deadline, so the WaitGroup cannot leak.
-	hctx, hcancel := context.WithTimeout(ctx, s.hedge)
+	fetchCtx, fsp := obs.StartSpan(ctx, "fetch")
+	fsp.SetAttr("mode", "parallel").SetAttr("sources", p)
+	hctx, hcancel := context.WithTimeout(fetchCtx, s.hedge)
 	results := make(chan sourceResult, p)
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
@@ -214,28 +294,43 @@ func (s *Store) readStripe(ctx context.Context, name string, st int, stats *Read
 			// One bad source is enough to know the pure parallel path
 			// cannot complete: bail out to the any-k fallback immediately
 			// instead of waiting for the hedge deadline.
-			if errors.Is(r.err, ErrCorrupt) {
-				stats.CorruptSources++
-			}
+			stats.source(r)
 			failed = true
 			break
 		}
+		stats.source(r)
 		prefixes[r.idx] = r.data
-		stats.BytesFetched += int64(len(r.data))
 		ok++
 	}
 	hcancel()
 	wg.Wait()
+	// Drain the streams cancelled (or completed) after the decision so
+	// their bytes and corruption verdicts still land in the stats; before
+	// this drain, a corrupt block whose verdict arrived second was
+	// invisible to CorruptSources.
+	for drained := ok + btoi(failed); drained < p; drained++ {
+		stats.source(<-results)
+	}
+	fsp.SetAttr("ok", ok).SetAttr("failed", failed)
+	fsp.End()
 	if !failed {
-		stats.StripesParallel++
+		stats.parallelStripe()
 		out := make([]byte, s.code.K()*s.blockSize)
 		for i := 0; i < p; i++ {
 			copy(out[i*per:(i+1)*per], prefixes[i])
 		}
 		return out, nil
 	}
-	stats.StripesFallback++
+	stats.fallbackStripe()
 	return s.readStripeAnyK(ctx, name, st, stats)
+}
+
+// btoi converts a bool to its 0/1 count.
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // readStripeAnyK decodes one stripe from the fastest k responders: whole
@@ -245,7 +340,9 @@ func (s *Store) readStripe(ctx context.Context, name string, st int, stats *Read
 func (s *Store) readStripeAnyK(ctx context.Context, name string, st int, stats *ReadStats) ([]byte, error) {
 	n := s.code.N()
 	k := s.code.K()
-	fctx, fcancel := context.WithCancel(ctx)
+	fetchCtx, fsp := obs.StartSpan(ctx, "fetch")
+	fsp.SetAttr("mode", "anyk").SetAttr("sources", n).SetAttr("need", k)
+	fctx, fcancel := context.WithCancel(fetchCtx)
 	defer fcancel()
 	results := make(chan sourceResult, n)
 	var wg sync.WaitGroup
@@ -264,10 +361,8 @@ func (s *Store) readStripeAnyK(ctx context.Context, name string, st int, stats *
 	var firstErr error
 	for got < k && failures <= n-k {
 		r := <-results
+		stats.source(r)
 		if r.err != nil {
-			if errors.Is(r.err, ErrCorrupt) {
-				stats.CorruptSources++
-			}
 			if firstErr == nil {
 				firstErr = r.err
 			}
@@ -275,16 +370,26 @@ func (s *Store) readStripeAnyK(ctx context.Context, name string, st int, stats *
 			continue
 		}
 		blocks[r.idx] = r.data
-		stats.BytesFetched += int64(len(r.data))
 		got++
 	}
-	// Cancel the losers and wait for every stream to exit before decoding.
+	// Cancel the losers and wait for every stream to exit before decoding,
+	// then drain their results: a loser's bytes crossed the wire and a
+	// loser's corruption verdict is real, so both belong in the stats.
 	fcancel()
 	wg.Wait()
+	for drained := got + failures; drained < n; drained++ {
+		stats.source(<-results)
+	}
+	fsp.SetAttr("got", got).SetAttr("failures", failures)
+	fsp.End()
 	if got < k {
 		return nil, fmt.Errorf("%w: %d of %d blocks readable (first failure: %v)", ErrTooFewSurvivors, got, k, firstErr)
 	}
-	return s.code.ParallelRead(blocks)
+	_, dsp := obs.StartSpan(ctx, "decode")
+	dsp.SetAttr("blocks", got).SetAttr("bytes", k*s.blockSize)
+	out, err := s.code.ParallelRead(blocks)
+	dsp.End()
+	return out, err
 }
 
 // Repair regenerates block failed of a stripe from d helper chunks
@@ -293,15 +398,33 @@ func (s *Store) readStripeAnyK(ctx context.Context, name string, st int, stats *
 // failed or straggling helpers are replaced by spare candidates, so a dead
 // or slow server cannot stall the repair.
 func (s *Store) Repair(ctx context.Context, name string, st, failed int) (trafficBytes int, err error) {
+	t0 := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "store.repair")
+	sp.SetAttr("file", name).SetAttr("stripe", st).SetAttr("failed", failed)
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.SetAttr("traffic_bytes", trafficBytes)
+		sp.End()
+		mRepairs.Inc()
+		mRepairTraffic.Add(int64(trafficBytes))
+		mRepairNS.ObserveSince(t0)
+	}()
 	n := s.code.N()
 	d := s.code.D()
+	_, lsp := obs.StartSpan(ctx, "locate")
 	candidates := make([]int, 0, n-1)
 	for i := 0; i < n; i++ {
 		if i != failed {
 			candidates = append(candidates, i)
 		}
 	}
-	fctx, fcancel := context.WithCancel(ctx)
+	lsp.SetAttr("helpers", d).SetAttr("candidates", len(candidates))
+	lsp.End()
+	fetchCtx, fsp := obs.StartSpan(ctx, "fetch")
+	fsp.SetAttr("mode", "chunks")
+	fctx, fcancel := context.WithCancel(fetchCtx)
 	defer fcancel()
 	results := make(chan sourceResult, len(candidates))
 	var wg sync.WaitGroup
@@ -337,6 +460,8 @@ func (s *Store) Repair(ctx context.Context, name string, st, failed int) (traffi
 		pending--
 		if r.err != nil {
 			if next < len(candidates) {
+				// A helper failed or straggled: promote a spare.
+				mSparePromotions.Inc()
 				start(candidates[next])
 				next++
 				pending++
@@ -349,14 +474,22 @@ func (s *Store) Repair(ctx context.Context, name string, st, failed int) (traffi
 	}
 	fcancel()
 	wg.Wait()
+	fsp.SetAttr("helpers_responded", len(helpers))
+	fsp.End()
 	if len(helpers) < d {
 		return trafficBytes, fmt.Errorf("%w: only %d of %d helpers responded", ErrTooFewSurvivors, len(helpers), d)
 	}
+	_, dsp := obs.StartSpan(ctx, "decode")
 	block, err := s.code.RepairBlock(failed, helpers, chunks)
+	dsp.SetAttr("block_bytes", len(block))
+	dsp.End()
 	if err != nil {
 		return trafficBytes, err
 	}
-	if err := s.put(ctx, s.addrs[failed], blockName(name, st, failed), block); err != nil {
+	_, psp := obs.StartSpan(ctx, "writeback")
+	err = s.put(ctx, s.addrs[failed], blockName(name, st, failed), block)
+	psp.End()
+	if err != nil {
 		return trafficBytes, err
 	}
 	return trafficBytes, nil

@@ -24,11 +24,35 @@ package codeplan
 
 import (
 	"fmt"
+	"time"
 
 	"carousel/internal/gf256"
 	"carousel/internal/matrix"
+	"carousel/internal/obs"
 	"carousel/internal/workpool"
 )
+
+// Execution metrics, recorded once per Run/RunParallel (never per chunk or
+// per op, which would poison the cache-resident inner loop):
+// codeplan_ops_total counts scheduled ops replayed, codeplan_bytes_total
+// the bytes those ops touched (each op streams the full byte range once),
+// and codeplan_run_ns the wall time of whole executions — the per-chunk
+// timing is run_ns divided by the chunk count implied by bytes/16KiB.
+var (
+	mRuns   = obs.Default().Counter("codeplan_runs_total")
+	mOps    = obs.Default().Counter("codeplan_ops_total")
+	mBytes  = obs.Default().Counter("codeplan_bytes_total")
+	mRunNS  = obs.Default().Histogram("codeplan_run_ns")
+	mWorker = obs.Default().Counter("codeplan_parallel_runs_total")
+)
+
+// observe records one completed plan execution over size bytes.
+func (p *Plan) observe(size int, t0 time.Time) {
+	mRuns.Inc()
+	mOps.Add(int64(len(p.ops)))
+	mBytes.Add(int64(size) * int64(len(p.ops)))
+	mRunNS.ObserveSince(t0)
+}
 
 // OpKind enumerates the schedule's operation types.
 type OpKind uint8
@@ -220,7 +244,9 @@ func (p *Plan) check(in, out [][]byte) int {
 // overlap.
 func (p *Plan) Run(in, out [][]byte) {
 	size := p.check(in, out)
+	t0 := time.Now()
 	p.runRange(in, out, 0, size)
+	p.observe(size, t0)
 }
 
 // RunParallel executes the plan with the byte range striped across up to
@@ -229,8 +255,10 @@ func (p *Plan) Run(in, out [][]byte) {
 // workers <= 1 or small buffers fall back to the serial path.
 func (p *Plan) RunParallel(in, out [][]byte, workers int) {
 	size := p.check(in, out)
+	t0 := time.Now()
 	if workers <= 1 || size < minParallelBytes {
 		p.runRange(in, out, 0, size)
+		p.observe(size, t0)
 		return
 	}
 	stripe := (size + workers - 1) / workers
@@ -244,6 +272,8 @@ func (p *Plan) RunParallel(in, out [][]byte, workers int) {
 		}
 		p.runRange(in, out, lo, hi)
 	})
+	mWorker.Inc()
+	p.observe(size, t0)
 }
 
 // runRange replays the schedule over [lo, hi) in cache-sized chunks.

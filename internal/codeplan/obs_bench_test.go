@@ -1,0 +1,58 @@
+package codeplan
+
+import (
+	"testing"
+
+	"carousel/internal/matrix"
+)
+
+// benchPlan compiles a dense 6x6 decode-shaped plan over 16 MiB units —
+// the shape of the interleaved-decode A/B from PR 1.
+func benchPlan(b *testing.B, unitBytes int) (*Plan, [][]byte, [][]byte) {
+	b.Helper()
+	const k = 6
+	m := matrix.New(k, k)
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			m.Set(r, c, byte(1+((r*k+c)%254)))
+		}
+	}
+	p := Compile(m)
+	in := make([][]byte, k)
+	out := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		in[i] = make([]byte, unitBytes)
+		out[i] = make([]byte, unitBytes)
+		for j := range in[i] {
+			in[i][j] = byte(i + j)
+		}
+	}
+	return p, in, out
+}
+
+// BenchmarkRunInstrumented measures Plan.Run as shipped: the metric
+// recording (one counter trio plus a histogram observation per execution)
+// is included.
+func BenchmarkRunInstrumented(b *testing.B) {
+	p, in, out := benchPlan(b, 1<<20)
+	b.SetBytes(int64(len(in)) * 1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(in, out)
+	}
+}
+
+// BenchmarkRunUninstrumented measures the same execution through the
+// internal runRange, bypassing the observation — the denominator of the
+// <2% overhead claim. Compare with BenchmarkRunInstrumented:
+//
+//	go test -bench 'BenchmarkRun(Un)?[Ii]nstrumented' -benchtime 2s ./internal/codeplan
+func BenchmarkRunUninstrumented(b *testing.B) {
+	p, in, out := benchPlan(b, 1<<20)
+	size := 1 << 20
+	b.SetBytes(int64(len(in)) * 1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.runRange(in, out, 0, size)
+	}
+}

@@ -1,10 +1,21 @@
 package dfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"carousel/internal/cluster"
+	"carousel/internal/obs"
+)
+
+// Read-path metrics; per-scheme read counts are labeled at call time (one
+// registry lookup per file read, far off any hot loop).
+var (
+	mReadBytes   = obs.Default().Counter("dfs_read_bytes_total")
+	mDecodeBytes = obs.Default().Counter("dfs_decode_bytes_total")
+	mQuarantined = obs.Default().Counter("dfs_quarantined_blocks_total")
+	mReadErrors  = obs.Default().Counter("dfs_read_errors_total")
 )
 
 // ReadMode selects how a client retrieves a file.
@@ -36,39 +47,61 @@ type ReadResult struct {
 // Read retrieves the file to the client node, charging simulated transfer
 // and decode time. It must be called from within a simulation process.
 func (fs *FS) Read(p *cluster.Proc, client *cluster.Node, name string, mode ReadMode) (*ReadResult, error) {
+	// The simulation API carries no context, so every Read roots its own
+	// trace; stage spans below decompose it the same way the blockserver
+	// store does: locate → verify → fetch/decode.
+	ctx, sp := obs.StartSpan(context.Background(), "dfs.read")
+	sp.SetAttr("file", name).SetAttr("mode", int(mode))
+	defer sp.End()
+
+	_, lsp := obs.StartSpan(ctx, "locate")
 	f, err := fs.File(name)
+	lsp.End()
 	if err != nil {
+		mReadErrors.Inc()
 		return nil, err
 	}
+	sp.SetAttr("scheme", f.scheme.Name())
 	// Datanodes verify each block against its ingest checksum before
 	// serving it: corruption is quarantined here, so the read below sees
 	// the block as unavailable and decodes around it instead of returning
 	// bad data. The quarantined block is then a scrub/Reconstruct target.
+	_, vsp := obs.StartSpan(ctx, "verify")
 	quarantined := fs.quarantineCorrupt(f)
+	vsp.SetAttr("quarantined", quarantined)
+	vsp.End()
+	mQuarantined.Add(int64(quarantined))
 	res := &ReadResult{Data: make([]byte, f.size)}
 	switch s := f.scheme.(type) {
 	case Replication:
-		err = fs.readReplicated(p, client, f, mode, res)
+		err = fs.readReplicated(ctx, p, client, f, mode, res)
 	case RS:
-		err = fs.readRS(p, client, f, s, res)
+		err = fs.readRS(ctx, p, client, f, s, res)
 	case Carousel:
-		err = fs.readCarousel(p, client, f, s, res)
+		err = fs.readCarousel(ctx, p, client, f, s, res)
 	default:
 		err = fmt.Errorf("dfs: unknown scheme %T", f.scheme)
 	}
 	if err != nil {
+		mReadErrors.Inc()
+		sp.SetAttr("error", err.Error())
 		if quarantined > 0 && errors.Is(err, ErrUnavailable) {
 			err = fmt.Errorf("%w (%d corrupt block(s) quarantined): %w", ErrCorrupt, quarantined, err)
 		}
 		return nil, err
 	}
+	obs.Default().Counter("dfs_reads_total", "scheme", f.scheme.Name()).Inc()
+	mReadBytes.Add(res.BytesFetched)
+	mDecodeBytes.Add(res.DecodeBytes)
 	fs.stats.BytesRead += res.BytesFetched
 	return res, nil
 }
 
 // readReplicated streams each block from one replica, sequentially or in
 // parallel.
-func (fs *FS) readReplicated(p *cluster.Proc, client *cluster.Node, f *File, mode ReadMode, res *ReadResult) error {
+func (fs *FS) readReplicated(ctx context.Context, p *cluster.Proc, client *cluster.Node, f *File, mode ReadMode, res *ReadResult) error {
+	_, fsp := obs.StartSpan(ctx, "fetch")
+	defer func() { fsp.SetAttr("bytes", res.BytesFetched).End() }()
 	type job struct {
 		src    *cluster.Node
 		off    int
@@ -118,7 +151,9 @@ func (fs *FS) readReplicated(p *cluster.Proc, client *cluster.Node, f *File, mod
 
 // readRS retrieves an RS-coded file: the k data blocks in parallel, or a
 // degraded read decoding from any k blocks when data blocks are lost.
-func (fs *FS) readRS(p *cluster.Proc, client *cluster.Node, f *File, s RS, res *ReadResult) error {
+func (fs *FS) readRS(ctx context.Context, p *cluster.Proc, client *cluster.Node, f *File, s RS, res *ReadResult) error {
+	_, fsp := obs.StartSpan(ctx, "fetch")
+	defer fsp.End() // no-op after the explicit End below; covers error returns
 	code := s.Code
 	res.Parallelism = code.K()
 	sim := fs.cluster.Sim()
@@ -176,17 +211,23 @@ func (fs *FS) readRS(p *cluster.Proc, client *cluster.Node, f *File, s RS, res *
 		}
 	}
 	wg.Wait(p)
+	fsp.SetAttr("bytes", res.BytesFetched).End()
 	res.DecodeBytes = decodeWork
+	_, dsp := obs.StartSpan(ctx, "decode")
+	dsp.SetAttr("bytes", decodeWork)
 	if sec := fs.decodeSeconds(f.scheme, int(decodeWork)); sec > 0 {
 		client.Compute(p, 0, sec)
 	}
+	dsp.End()
 	return nil
 }
 
 // readCarousel retrieves a Carousel-coded file with the Section VII
 // parallel read: original data from up to p sources, replacement blocks for
 // missing ones, any-k decode as the last resort.
-func (fs *FS) readCarousel(p *cluster.Proc, client *cluster.Node, f *File, s Carousel, res *ReadResult) error {
+func (fs *FS) readCarousel(ctx context.Context, p *cluster.Proc, client *cluster.Node, f *File, s Carousel, res *ReadResult) error {
+	_, fsp := obs.StartSpan(ctx, "fetch")
+	defer fsp.End()
 	code := s.Code
 	sim := fs.cluster.Sim()
 	wg := sim.NewWaitGroup()
@@ -251,10 +292,14 @@ func (fs *FS) readCarousel(p *cluster.Proc, client *cluster.Node, f *File, s Car
 		copy(res.Data[lo:hi], data[:hi-lo])
 	}
 	wg.Wait(p)
+	fsp.SetAttr("bytes", res.BytesFetched).End()
 	res.DecodeBytes = decodeWork
+	_, dsp := obs.StartSpan(ctx, "decode")
+	dsp.SetAttr("bytes", decodeWork)
 	if sec := fs.decodeSeconds(f.scheme, int(decodeWork)); sec > 0 {
 		client.Compute(p, 0, sec)
 	}
+	dsp.End()
 	return nil
 }
 

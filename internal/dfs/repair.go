@@ -1,9 +1,17 @@
 package dfs
 
 import (
+	"context"
 	"fmt"
 
 	"carousel/internal/cluster"
+	"carousel/internal/obs"
+)
+
+// Repair metrics, incremented once per reconstructed block.
+var (
+	mRepairTraffic = obs.Default().Counter("dfs_repair_traffic_bytes_total")
+	mRepairHelpers = obs.Default().Counter("dfs_repair_helpers_total")
 )
 
 // RepairResult reports a completed block reconstruction.
@@ -23,6 +31,9 @@ type RepairResult struct {
 // protocol for Carousel. It must be called from within a simulation
 // process.
 func (fs *FS) Reconstruct(p *cluster.Proc, name string, stripeIdx, blockIdx int, newcomer *cluster.Node) (*RepairResult, error) {
+	_, sp := obs.StartSpan(context.Background(), "dfs.repair")
+	sp.SetAttr("file", name).SetAttr("stripe", stripeIdx).SetAttr("block", blockIdx)
+	defer sp.End()
 	f, err := fs.File(name)
 	if err != nil {
 		return nil, err
@@ -134,6 +145,10 @@ func (fs *FS) Reconstruct(p *cluster.Proc, name string, stripeIdx, blockIdx int,
 	default:
 		return nil, fmt.Errorf("dfs: unknown scheme %T", f.scheme)
 	}
+	sp.SetAttr("scheme", f.scheme.Name()).SetAttr("traffic_bytes", res.TrafficBytes).SetAttr("helpers", res.Helpers)
+	obs.Default().Counter("dfs_repairs_total", "scheme", f.scheme.Name()).Inc()
+	mRepairTraffic.Add(res.TrafficBytes)
+	mRepairHelpers.Add(int64(res.Helpers))
 	fs.stats.BytesRepair += res.TrafficBytes
 	return res, nil
 }

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// expvarOnce publishes the registry snapshot into expvar exactly once, so
+// /debug/vars carries the same numbers as /metrics alongside the runtime's
+// memstats and cmdline vars.
+var expvarOnce sync.Once
+
+func publishExpvar(r *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("carousel_metrics", expvar.Func(func() any {
+			return r.Snapshot()
+		}))
+	})
+}
+
+// NewMux builds the observability mux over a registry and tracer:
+//
+//	/metrics       — Prometheus-style text exposition
+//	/debug/vars    — expvar JSON (memstats, cmdline, carousel_metrics)
+//	/debug/pprof/  — the standard pprof handlers
+//	/debug/traces  — recent finished spans as JSON (?trace=ID filters one
+//	                 trace, ?tree=1 renders the indented stage tree)
+func NewMux(r *Registry, t *Tracer) *http.ServeMux {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteText(w, r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		spans := traceSelection(t, req)
+		if req.URL.Query().Get("tree") != "" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, TreeString(spans))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(spans)
+	})
+	return mux
+}
+
+func traceSelection(t *Tracer, req *http.Request) []SpanRecord {
+	q := req.URL.Query()
+	if ts := q.Get("trace"); ts != "" {
+		if id, err := strconv.ParseUint(ts, 10, 64); err == nil {
+			return t.Spans(id)
+		}
+	}
+	max := 256
+	if ns := q.Get("n"); ns != "" {
+		if n, err := strconv.Atoi(ns); err == nil && n > 0 {
+			max = n
+		}
+	}
+	return t.Recent(max)
+}
+
+// Handler returns the mux over the process-wide default registry and
+// tracer.
+func Handler() http.Handler { return NewMux(Default(), DefaultTracer()) }
+
+// Serve starts the default observability mux on addr (use host:0 for an
+// ephemeral port) and returns the bound address plus a shutdown func. It
+// is what blockserverd's -obs-addr and the tcpcluster example call.
+func Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

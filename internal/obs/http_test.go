@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMuxEndpoints drives the three endpoint surfaces the tentpole
+// promises: /metrics text, /debug/vars expvar JSON, /debug/pprof, and the
+// span dump.
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(64)
+	r.Counter("demo_total").Add(4)
+	_, s := tr.Start(nil, "demo.read")
+	s.End()
+
+	srv := httptest.NewServer(NewMux(r, tr))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "demo_total 4") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars: code=%d body=%.80q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: code=%d body=%.80q", code, body)
+	}
+	if code, body := get("/debug/traces"); code != 200 || !strings.Contains(body, "demo.read") {
+		t.Fatalf("/debug/traces: code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/traces?tree=1"); code != 200 || !strings.Contains(body, "demo.read") {
+		t.Fatalf("/debug/traces?tree=1: code=%d body=%q", code, body)
+	}
+}
+
+// TestScrapeRoundTrip scrapes a served /metrics page with ParseText — the
+// path carouselctl stats takes.
+func TestScrapeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(16)
+	r.Counter("scrape_total", "node", "0").Add(9)
+	r.Histogram("scrape_ns").Observe(12345)
+	srv := httptest.NewServer(NewMux(r, tr))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	snap, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters[`scrape_total{node="0"}`] != 9 {
+		t.Fatalf("scraped counters: %v", snap.Counters)
+	}
+	if h := snap.Histograms["scrape_ns"]; h.Count != 1 || h.Sum != 12345 {
+		t.Fatalf("scraped histogram: %+v", h)
+	}
+}
+
+// TestServe binds an ephemeral port and closes cleanly.
+func TestServe(t *testing.T) {
+	addr, closeFn, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+)
+
+// ctxHandler decorates a slog.Handler with the trace and span IDs carried
+// by the record's context, so every log line produced inside an
+// instrumented read or repair is joinable against its span tree.
+type ctxHandler struct {
+	inner slog.Handler
+}
+
+// Enabled implements slog.Handler.
+func (h ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+// Handle implements slog.Handler, stamping trace/span attributes when the
+// context carries a span.
+func (h ctxHandler) Handle(ctx context.Context, r slog.Record) error {
+	if s := SpanFromContext(ctx); s != nil {
+		r.AddAttrs(slog.Uint64("trace", s.TraceID()), slog.Uint64("span", s.ID()))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+// WithAttrs implements slog.Handler.
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+// WithGroup implements slog.Handler.
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogHandler returns the repository's shared slog handler: text format
+// to w at the given level, with trace/span IDs injected from the context.
+func NewLogHandler(w io.Writer, level slog.Leveler) slog.Handler {
+	return ctxHandler{inner: slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})}
+}
+
+// NewLogger returns a logger over NewLogHandler.
+func NewLogger(w io.Writer, level slog.Leveler) *slog.Logger {
+	return slog.New(NewLogHandler(w, level))
+}
+
+var setDefaultOnce sync.Once
+
+// SetDefaultLogger installs the shared handler as slog's process default
+// (stderr, Info level unless verbose). Safe to call from several commands'
+// init paths; only the first call wins.
+func SetDefaultLogger(verbose bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	l := NewLogger(os.Stderr, level)
+	setDefaultOnce.Do(func() { slog.SetDefault(l) })
+	return l
+}

@@ -18,11 +18,24 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"carousel/internal/obs"
 )
 
 var (
 	startOnce sync.Once
 	submit    chan *run
+)
+
+// Pool metrics: one atomic add per Parallel call (not per task), so the
+// instrumentation cost is invisible next to even a single GF(2^8) chunk.
+// workpool_queue_depth is sampled lazily at scrape time.
+var (
+	mRuns      = obs.Default().Counter("workpool_runs_total")
+	mTasks     = obs.Default().Counter("workpool_tasks_total")
+	mSaturated = obs.Default().Counter("workpool_saturated_offers_total")
+	mBusy      = obs.Default().Gauge("workpool_busy_workers")
+	mWorkers   = obs.Default().Gauge("workpool_workers") // 0 until the pool starts
 )
 
 // start launches the fixed pool: GOMAXPROCS goroutines draining a small
@@ -34,10 +47,14 @@ func start() {
 		n = 1
 	}
 	submit = make(chan *run, 4*n)
+	mWorkers.Set(int64(n))
+	obs.Default().GaugeFunc("workpool_queue_depth", func() int64 { return int64(len(submit)) })
 	for i := 0; i < n; i++ {
 		go func() {
 			for r := range submit {
+				mBusy.Add(1)
 				r.drain()
+				mBusy.Add(-1)
 				r.wg.Done()
 			}
 		}()
@@ -85,6 +102,8 @@ func Parallel(n, workers int, fn func(int)) {
 		return
 	}
 	startOnce.Do(start)
+	mRuns.Inc()
+	mTasks.Add(int64(n))
 	r := runPool.Get().(*run)
 	r.next.Store(0)
 	r.n = int64(n)
@@ -96,6 +115,7 @@ offer:
 		case submit <- r:
 		default:
 			// Pool saturated: the caller will cover the remaining tasks.
+			mSaturated.Inc()
 			r.wg.Done()
 			break offer
 		}

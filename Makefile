@@ -2,13 +2,13 @@ GO ?= go
 
 # Packages whose hot paths share mutable buffers across goroutines; these run
 # under the race detector in addition to the normal suite.
-RACE_PKGS = ./internal/codeplan ./internal/workpool ./internal/matrix ./internal/carousel ./internal/blockserver ./internal/faultnet ./internal/dfs ./internal/retry ./internal/obs
+RACE_PKGS = ./internal/codeplan ./internal/workpool ./internal/matrix ./internal/carousel ./internal/blockserver ./internal/faultnet ./internal/dfs ./internal/retry ./internal/obs ./internal/bufpool ./internal/stream
 
 # Packages on the fault-tolerant block path: run twice under the race
 # detector to shake out order-dependent leaks and redial races.
 FAULT_PKGS = ./internal/blockserver ./internal/dfs ./internal/faultnet
 
-.PHONY: check vet build test race faults bench obs
+.PHONY: check vet build test race faults bench bench-net obs
 
 check: vet build test race
 
@@ -32,6 +32,12 @@ faults:
 # Regenerate the coding microbenchmarks and the JSON snapshot.
 bench:
 	$(GO) run ./cmd/codingbench -json
+
+# The tentpole A/B: pipelined pooled ReadFile/WriteFile vs the sequential
+# dial-per-stripe baseline over a live loopback TCP cluster, with
+# -benchmem-style allocation counts; refreshes BENCH_clusterbench.json.
+bench-net:
+	$(GO) run ./cmd/clusterbench -fig net -json
 
 # The observability layer: metric/span correctness under the race detector,
 # the degraded-read trace e2e, then a live 3-node cluster scrape.

@@ -12,13 +12,19 @@
 //
 // Usage:
 //
-//	clusterbench [-fig all|9|10|11|deg|tail] [-scale 32]
+//	clusterbench [-fig all|9|10|11|deg|tail|net] [-scale 32] [-netmb 8] [-netreps 3] [-json]
 //
 // -scale divides the data size and every bandwidth by the same factor, so
 // simulated durations equal the full-scale run while the real task logic
 // (actual word counting and sorting) touches 1/scale of the bytes.
 // Client-side decode time in Fig. 11 is charged at the throughput of this
 // machine's real decoder, measured at startup.
+//
+// -fig net is different in kind: it boots a live 12-server TCP cluster on
+// loopback and A/Bs the pipelined pooled read/write engine against the
+// sequential dial-per-stripe baseline on a -netmb MiB, 16-stripe file
+// (never simulated, so it is excluded from -fig all). With -json the
+// measurements are also written to BENCH_clusterbench.json.
 package main
 
 import (
@@ -58,8 +64,11 @@ var calib = cluster.NodeSpec{
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 9, 10, 11, deg, tail")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 9, 10, 11, deg, tail, net")
 	scale := flag.Int("scale", 32, "scale-down factor for data sizes and bandwidths")
+	netMB := flag.Int("netmb", 8, "file size in MiB for the -fig net TCP read/write A/B")
+	netReps := flag.Int("netreps", 3, "benchmark repetitions per -fig net case (fastest wins)")
+	jsonOut := flag.Bool("json", false, "with -fig net, also write measurements to "+netJSONPath)
 	flag.Parse()
 	if *scale < 1 {
 		obs.SetDefaultLogger(false).Error("scale must be >= 1")
@@ -87,6 +96,11 @@ func main() {
 	}
 	if *fig == "all" || *fig == "tail" {
 		if err := figTail(*scale); err != nil {
+			fail(err)
+		}
+	}
+	if *fig == "net" {
+		if err := figNet(*netMB, *netReps, *jsonOut); err != nil {
 			fail(err)
 		}
 	}

@@ -1,0 +1,81 @@
+//go:build !race
+
+package blockserver
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// Allocation pins live behind !race: the race detector's instrumentation
+// perturbs allocation counts, and the race suites already exercise the
+// same paths for correctness.
+
+// TestFrameRoundTripAllocs pins the wire framing: once the buffer pool is
+// warm, writeFrame + readFrame of a block-sized payload must not allocate
+// beyond the ≤2 budget (the pooled payload is recycled each round).
+func TestFrameRoundTripAllocs(t *testing.T) {
+	payload := bytes.Repeat([]byte("f"), 64<<10)
+	var wire bytes.Buffer
+	wire.Grow(len(payload) + 64)
+	// Warm the pool and the buffer once.
+	if err := writeFrame(&wire, payload); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := readFrame(&wire); err != nil {
+		t.Fatal(err)
+	} else {
+		Recycle(b)
+	}
+	n := testing.AllocsPerRun(100, func() {
+		wire.Reset()
+		if err := writeFrame(&wire, payload); err != nil {
+			t.Fatal(err)
+		}
+		b, err := readFrame(&wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Recycle(b)
+	})
+	if n > 2 {
+		t.Errorf("frame round-trip allocates %.1f times per run, want <= 2", n)
+	}
+}
+
+// TestPooledGetRangeAllocs pins the client hot path: a warm pooled
+// GetRange over real TCP — request built in the client scratch, response
+// landing in a pooled buffer — must stay at ≤2 allocations per exchange
+// (the one remaining alloc is the exchange closure).
+func TestPooledGetRangeAllocs(t *testing.T) {
+	_, addrs := startServers(t, nil, 1)
+	pool := NewPool(addrs, PoolOptions{PerPeer: 1, Client: fastOpts()})
+	t.Cleanup(pool.Close)
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte("r"), 64<<10)
+	c, err := pool.Get(ctx, addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Put(c)
+	if err := c.Put(ctx, "blk", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the connection and the buffer pool.
+	warm, err := c.GetRange(ctx, "blk", 0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Recycle(warm)
+	n := testing.AllocsPerRun(100, func() {
+		out, err := c.GetRange(ctx, "blk", 128, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Recycle(out)
+	})
+	if n > 2 {
+		t.Errorf("warm pooled GetRange allocates %.1f times per run, want <= 2", n)
+	}
+}

@@ -5,45 +5,79 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"carousel/internal/bufpool"
 	"carousel/internal/obs"
 	"carousel/internal/retry"
 )
 
-// Client-side metrics. RPC counts are labeled by op and outcome (created
-// through the registry per call — a map read, trivial next to a network
-// round trip); retries, wire bytes, and checksum rejections are flat
-// counters cached here. Latency histograms are per peer, interned once per
-// Client.
+// Client-side metrics. RPC counts are labeled by op and outcome through an
+// interned table (see rpcCounter) so per-call bookkeeping is a pair of
+// array indexes instead of an allocating varargs registry lookup; retries,
+// wire bytes, dials, and checksum rejections are flat counters cached
+// here. Latency histograms are per peer, interned once per Client.
 var (
-	cliRetries  = obs.Default().Counter("blockserver_client_retries_total")
-	cliFrameCRC = obs.Default().Counter("blockserver_client_frame_crc_failures_total")
-	cliCorrupt  = obs.Default().Counter("blockserver_client_corrupt_blocks_total")
-	cliBytesTx  = obs.Default().Counter("blockserver_client_bytes_tx_total")
-	cliBytesRx  = obs.Default().Counter("blockserver_client_bytes_rx_total")
+	cliRetries   = obs.Default().Counter("blockserver_client_retries_total")
+	cliFrameCRC  = obs.Default().Counter("blockserver_client_frame_crc_failures_total")
+	cliCorrupt   = obs.Default().Counter("blockserver_client_corrupt_blocks_total")
+	cliBytesTx   = obs.Default().Counter("blockserver_client_bytes_tx_total")
+	cliBytesRx   = obs.Default().Counter("blockserver_client_bytes_rx_total")
+	cliDials     = obs.Default().Counter("blockserver_client_dials_total")
+	cliConnsOpen = obs.Default().Gauge("blockserver_client_conns_open")
 )
 
-// outcomeOf maps an RPC result onto the outcome label taxonomy, mirroring
-// the sentinel errors carouselctl turns into exit codes.
-func outcomeOf(err error) string {
+// outcomeNames is the outcome label taxonomy, mirroring the sentinel
+// errors carouselctl turns into exit codes. outcomeIndex keeps the same
+// order.
+var outcomeNames = [...]string{"ok", "not_found", "corrupt", "timeout", "canceled", "remote", "error"}
+
+// outcomeIndex maps an RPC result onto its slot in outcomeNames.
+func outcomeIndex(err error) int {
 	switch {
 	case err == nil:
-		return "ok"
+		return 0
 	case errors.Is(err, ErrNotFound):
-		return "not_found"
+		return 1
 	case errors.Is(err, ErrCorrupt):
-		return "corrupt"
+		return 2
 	case errors.Is(err, ErrTimeout):
-		return "timeout"
+		return 3
 	case errors.Is(err, context.Canceled):
-		return "canceled"
+		return 4
 	case errors.Is(err, ErrRemote):
-		return "remote"
+		return 5
 	default:
-		return "error"
+		return 6
 	}
+}
+
+// outcomeOf names an RPC result for logs and labels.
+func outcomeOf(err error) string {
+	return outcomeNames[outcomeIndex(err)]
+}
+
+// rpcCounters interns every (op, outcome) counter once, so recording an
+// RPC outcome on the hot path is a table index rather than a label-joining
+// registry lookup.
+var (
+	rpcOnce     sync.Once
+	rpcCounters [opVerify + 1][len(outcomeNames)]*obs.Counter
+)
+
+func rpcCounter(op byte, err error) *obs.Counter {
+	rpcOnce.Do(func() {
+		for o := opPut; o <= opVerify; o++ {
+			for i, out := range outcomeNames {
+				rpcCounters[o][i] = obs.Default().Counter("blockserver_client_rpcs_total", "op", opName(o), "outcome", out)
+			}
+		}
+	})
+	return rpcCounters[op][outcomeIndex(err)]
 }
 
 // ErrRemote wraps in-band application errors reported by the server
@@ -79,16 +113,34 @@ func (o Options) withDefaults() Options {
 }
 
 // Client talks to one block server. It keeps a single connection and is
-// not safe for concurrent use; open one client per goroutine (parallel
-// reads do exactly that). On any transport or protocol error the
+// not safe for concurrent use; check one out of a Pool per goroutine
+// (parallel reads do exactly that). On any transport or protocol error the
 // connection is closed and marked dead, so the next call redials instead
 // of desyncing the framing; every operation is an idempotent full
 // exchange, so retries are safe.
+//
+// A steady-state exchange is allocation-free apart from the one closure
+// per call: requests are built in a reused scratch buffer and sent in a
+// single write, response headers land in a persistent array, payloads come
+// from the shared buffer pool (hand them back with Recycle), and the
+// cancellation watcher is one persistent goroutine armed per call instead
+// of spawned per call.
 type Client struct {
 	addr string
 	opts Options
 	conn net.Conn
 	lat  *obs.Histogram // per-peer RPC latency, interned at construction
+
+	onDial func()       // pool hook, observed after every successful dial
+	dials  atomic.Int64 // successful dials (read concurrently by pool stats)
+
+	req  []byte  // request scratch: op + name + args (+ put frame header)
+	hdr  [9]byte // response scratch: status + payload length + payload CRC
+	resp []byte  // payload handoff from the exchange to the caller
+
+	watch      *watcher
+	watchOn    bool // watcher goroutine currently running
+	watchArmed bool // watcher currently guarding an exchange
 }
 
 // Dial connects to a server with default options.
@@ -117,13 +169,22 @@ func NewClient(addr string, opts Options) *Client {
 	}
 }
 
-// Close closes the connection.
+// Addr returns the peer address this client talks to.
+func (c *Client) Addr() string { return c.addr }
+
+// Dials returns how many times this client has dialed its peer — the
+// signal pooled reads use to prove connection reuse.
+func (c *Client) Dials() int64 { return c.dials.Load() }
+
+// Close stops the watcher and closes the connection.
 func (c *Client) Close() error {
+	c.stopWatcher()
 	if c.conn == nil {
 		return nil
 	}
 	err := c.conn.Close()
 	c.conn = nil
+	cliConnsOpen.Add(-1)
 	return err
 }
 
@@ -132,6 +193,7 @@ func (c *Client) poison() {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
+		cliConnsOpen.Add(-1)
 	}
 }
 
@@ -146,6 +208,12 @@ func (c *Client) ensure(ctx context.Context) (net.Conn, error) {
 		return nil, fmt.Errorf("blockserver: dial %s: %w", c.addr, err)
 	}
 	c.conn = conn
+	c.dials.Add(1)
+	cliDials.Inc()
+	cliConnsOpen.Add(1)
+	if c.onDial != nil {
+		c.onDial()
+	}
 	return conn, nil
 }
 
@@ -155,87 +223,236 @@ func inBand(err error) bool {
 	return errors.Is(err, ErrNotFound) || errors.Is(err, ErrCorrupt) || errors.Is(err, ErrRemote)
 }
 
+// watchReq arms the watcher for one exchange; the zero value disarms it.
+type watchReq struct {
+	ctx  context.Context
+	conn net.Conn
+}
+
+// watcher interrupts in-flight I/O when the exchange's context is
+// canceled, by expiring the connection deadline — per-source cancellation
+// for hedged reads. One goroutine per checked-out client replaces the old
+// two-channels-plus-goroutine per call, which dominated the hot path's
+// allocation profile.
+type watcher struct {
+	arm  chan watchReq
+	done chan struct{}
+	quit chan struct{}
+}
+
+func (w *watcher) loop() {
+	for {
+		select {
+		case r := <-w.arm:
+			select {
+			case <-r.ctx.Done():
+				r.conn.SetDeadline(time.Unix(1, 0))
+				<-w.arm // wait for the disarm
+			case <-w.arm:
+			}
+			w.done <- struct{}{}
+		case <-w.quit:
+			return
+		}
+	}
+}
+
+// armWatcher guards one exchange on conn. Contexts that can never be
+// canceled need no guard (the I/O deadline still bounds the exchange).
+func (c *Client) armWatcher(ctx context.Context, conn net.Conn) {
+	if ctx.Done() == nil {
+		return
+	}
+	if c.watch == nil {
+		c.watch = &watcher{arm: make(chan watchReq), done: make(chan struct{}), quit: make(chan struct{})}
+	}
+	if !c.watchOn {
+		go c.watch.loop()
+		c.watchOn = true
+	}
+	c.watch.arm <- watchReq{ctx: ctx, conn: conn}
+	c.watchArmed = true
+}
+
+// disarmWatcher ends the guard and waits for the watcher's acknowledgment,
+// so a late cancellation can no longer clobber the next exchange's
+// deadline.
+func (c *Client) disarmWatcher() {
+	if !c.watchArmed {
+		return
+	}
+	c.watchArmed = false
+	c.watch.arm <- watchReq{}
+	<-c.watch.done
+}
+
+// stopWatcher retires the watcher goroutine. Pools call this when parking
+// an idle client so idle connections hold no goroutines; the next call
+// restarts it.
+func (c *Client) stopWatcher() {
+	if !c.watchOn {
+		return
+	}
+	c.watch.quit <- struct{}{}
+	c.watchOn = false
+}
+
 // do runs one idempotent exchange with deadline enforcement, poisoning,
 // and retry. exchange must write the full request and read the full
-// response. op labels the RPC in metrics.
-func (c *Client) do(ctx context.Context, op string, exchange func(conn net.Conn) error) error {
+// response. The retry loop is inlined (rather than delegated to retry.Do)
+// so the only per-call allocation left is the exchange closure itself.
+func (c *Client) do(ctx context.Context, op byte, exchange func(conn net.Conn) error) error {
 	start := time.Now()
-	attempts := 0
-	err := retry.Do(ctx, c.opts.Retry, retryable, func(ctx context.Context) error {
-		attempts++
-		conn, err := c.ensure(ctx)
-		if err != nil {
-			return classify(err)
-		}
-		deadline := time.Now().Add(c.opts.IOTimeout)
-		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-			deadline = d
-		}
-		conn.SetDeadline(deadline)
-		// A cancellation watcher interrupts in-flight I/O by expiring the
-		// deadline — per-source cancellation for hedged reads.
-		stop := make(chan struct{})
-		watcherDone := make(chan struct{})
-		go func() {
-			defer close(watcherDone)
-			select {
-			case <-ctx.Done():
-				conn.SetDeadline(time.Unix(1, 0))
-			case <-stop:
-			}
-		}()
-		err = exchange(conn)
-		close(stop)
-		<-watcherDone
-		if err != nil {
-			if errors.Is(err, errFrameChecksum) {
-				cliFrameCRC.Inc()
-			}
-			if !inBand(err) {
-				// Short read/write, malformed or corrupt frame, timeout:
-				// the stream position is unknown — kill the connection.
-				c.poison()
-			}
-			if ctx.Err() != nil {
-				err = errors.Join(classify(ctx.Err()), err)
-			}
-			return classify(err)
-		}
-		conn.SetDeadline(time.Time{})
-		return nil
-	})
-	if attempts > 1 {
-		cliRetries.Add(int64(attempts - 1))
+	attempts := c.opts.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	if errors.Is(err, ErrCorrupt) {
+	tried := 0
+	var err error
+	for i := 0; i < attempts; i++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			break
+		}
+		tried++
+		err = c.attempt(ctx, exchange)
+		if err == nil || !retryable(err) || i == attempts-1 {
+			break
+		}
+		if !c.opts.Retry.Wait(ctx, i+1) {
+			break
+		}
+	}
+	if tried > 1 {
+		cliRetries.Add(int64(tried - 1))
+	}
+	if err != nil && errors.Is(err, ErrCorrupt) {
 		cliCorrupt.Inc()
 	}
-	obs.Default().Counter("blockserver_client_rpcs_total", "op", op, "outcome", outcomeOf(err)).Inc()
+	rpcCounter(op, err).Inc()
 	if c.lat != nil {
 		c.lat.ObserveSince(start)
 	}
 	return err
 }
 
-// request sends the op header and name.
-func request(conn net.Conn, op byte, name string) error {
-	if _, err := conn.Write([]byte{op}); err != nil {
-		return err
+// attempt runs a single guarded exchange.
+func (c *Client) attempt(ctx context.Context, exchange func(conn net.Conn) error) error {
+	conn, err := c.ensure(ctx)
+	if err != nil {
+		return classify(err)
 	}
-	return writeName(conn, name)
+	deadline := time.Now().Add(c.opts.IOTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	conn.SetDeadline(deadline)
+	c.armWatcher(ctx, conn)
+	err = exchange(conn)
+	c.disarmWatcher()
+	if err != nil {
+		if errors.Is(err, errFrameChecksum) {
+			cliFrameCRC.Inc()
+		}
+		if !inBand(err) {
+			// Short read/write, malformed or corrupt frame, timeout:
+			// the stream position is unknown — kill the connection.
+			c.poison()
+		}
+		if ctx.Err() != nil {
+			err = errors.Join(classify(ctx.Err()), err)
+		}
+		return classify(err)
+	}
+	conn.SetDeadline(time.Time{})
+	return nil
+}
+
+// beginRequest resets the request scratch to op + length-prefixed name.
+func (c *Client) beginRequest(op byte, name string) error {
+	if len(name) == 0 || len(name) > maxNameLen {
+		return fmt.Errorf("blockserver: invalid name length %d", len(name))
+	}
+	c.req = append(c.req[:0], op, byte(len(name)>>8), byte(len(name)))
+	c.req = append(c.req, name...)
+	return nil
+}
+
+// addU32 appends a big-endian integer argument to the request scratch.
+func (c *Client) addU32(v uint32) {
+	c.req = append(c.req, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// sendRequest flushes the request scratch in a single write.
+func (c *Client) sendRequest(conn net.Conn) error {
+	_, err := conn.Write(c.req)
+	return err
+}
+
+// readResponse reads the status byte plus payload frame into the client's
+// persistent header scratch and a pooled payload buffer, and maps non-OK
+// statuses to errors (recycling their payload once rendered).
+func (c *Client) readResponse(conn net.Conn) ([]byte, error) {
+	if _, err := io.ReadFull(conn, c.hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(c.hdr[1:5])
+	if n > maxPayload {
+		return nil, fmt.Errorf("blockserver: frame of %d bytes exceeds limit", n)
+	}
+	crc := binary.BigEndian.Uint32(c.hdr[5:9])
+	buf := bufpool.Get(int(n))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		bufpool.Put(buf)
+		return nil, err
+	}
+	if Checksum(buf) != crc {
+		bufpool.Put(buf)
+		return nil, errFrameChecksum
+	}
+	switch c.hdr[0] {
+	case statusOK:
+		return buf, nil
+	case statusNotFound:
+		bufpool.Put(buf)
+		return nil, ErrNotFound
+	case statusCorrupt:
+		err := fmt.Errorf("%w: %s", ErrCorrupt, buf)
+		bufpool.Put(buf)
+		return nil, err
+	default:
+		err := fmt.Errorf("%w: %s", ErrRemote, buf)
+		bufpool.Put(buf)
+		return nil, err
+	}
 }
 
 // Put stores a block under name.
 func (c *Client) Put(ctx context.Context, name string, data []byte) error {
-	err := c.do(ctx, "put", func(conn net.Conn) error {
-		if err := request(conn, opPut, name); err != nil {
+	err := c.do(ctx, opPut, func(conn net.Conn) error {
+		if err := c.beginRequest(opPut, name); err != nil {
 			return err
 		}
-		if err := writeFrame(conn, data); err != nil {
+		// The payload frame header rides in the request scratch so the
+		// whole preamble goes out in one write.
+		c.addU32(uint32(len(data)))
+		c.addU32(Checksum(data))
+		if err := c.sendRequest(conn); err != nil {
 			return err
 		}
-		_, err := readResponse(conn)
-		return err
+		if len(data) > 0 {
+			if _, err := conn.Write(data); err != nil {
+				return err
+			}
+		}
+		payload, err := c.readResponse(conn)
+		if err != nil {
+			return err
+		}
+		bufpool.Put(payload)
+		return nil
 	})
 	if err == nil {
 		cliBytesTx.Add(int64(len(data)))
@@ -243,100 +460,122 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) error {
 	return err
 }
 
-// Get fetches a whole block.
+// Get fetches a whole block. The returned slice is pool-backed: pass it to
+// Recycle once consumed to keep the read path allocation-free.
 func (c *Client) Get(ctx context.Context, name string) ([]byte, error) {
-	var out []byte
-	err := c.do(ctx, "get", func(conn net.Conn) error {
-		if err := request(conn, opGet, name); err != nil {
+	c.resp = nil
+	err := c.do(ctx, opGet, func(conn net.Conn) error {
+		if err := c.beginRequest(opGet, name); err != nil {
 			return err
 		}
-		payload, err := readResponse(conn)
+		if err := c.sendRequest(conn); err != nil {
+			return err
+		}
+		payload, err := c.readResponse(conn)
 		if err != nil {
 			return err
 		}
-		out = payload
+		c.resp = payload
 		return nil
 	})
+	out := c.resp
+	c.resp = nil
 	cliBytesRx.Add(int64(len(out)))
 	return out, err
 }
 
 // GetRange fetches length bytes starting at off — how a parallel reader
-// pulls only the data prefix of a Carousel block.
+// pulls only the data prefix of a Carousel block. The returned slice is
+// pool-backed: pass it to Recycle once consumed.
 func (c *Client) GetRange(ctx context.Context, name string, off, length int) ([]byte, error) {
-	var out []byte
-	err := c.do(ctx, "range", func(conn net.Conn) error {
-		if err := request(conn, opRange, name); err != nil {
+	c.resp = nil
+	err := c.do(ctx, opRange, func(conn net.Conn) error {
+		if err := c.beginRequest(opRange, name); err != nil {
 			return err
 		}
-		if err := writeU32(conn, uint32(off)); err != nil {
+		c.addU32(uint32(off))
+		c.addU32(uint32(length))
+		if err := c.sendRequest(conn); err != nil {
 			return err
 		}
-		if err := writeU32(conn, uint32(length)); err != nil {
-			return err
-		}
-		payload, err := readResponse(conn)
+		payload, err := c.readResponse(conn)
 		if err != nil {
 			return err
 		}
-		out = payload
+		c.resp = payload
 		return nil
 	})
+	out := c.resp
+	c.resp = nil
 	cliBytesRx.Add(int64(len(out)))
 	return out, err
 }
 
 // Chunk asks the server to compute its repair contribution for the failed
-// block index; only blockSize/alpha bytes come back.
+// block index; only blockSize/alpha bytes come back. The returned slice is
+// pool-backed: pass it to Recycle once consumed.
 func (c *Client) Chunk(ctx context.Context, name string, helper, failed int) ([]byte, error) {
-	var out []byte
-	err := c.do(ctx, "chunk", func(conn net.Conn) error {
-		if err := request(conn, opChunk, name); err != nil {
+	c.resp = nil
+	err := c.do(ctx, opChunk, func(conn net.Conn) error {
+		if err := c.beginRequest(opChunk, name); err != nil {
 			return err
 		}
-		if err := writeU32(conn, uint32(helper)); err != nil {
+		c.addU32(uint32(helper))
+		c.addU32(uint32(failed))
+		if err := c.sendRequest(conn); err != nil {
 			return err
 		}
-		if err := writeU32(conn, uint32(failed)); err != nil {
-			return err
-		}
-		payload, err := readResponse(conn)
+		payload, err := c.readResponse(conn)
 		if err != nil {
 			return err
 		}
-		out = payload
+		c.resp = payload
 		return nil
 	})
+	out := c.resp
+	c.resp = nil
 	cliBytesRx.Add(int64(len(out)))
 	return out, err
 }
 
 // Delete removes a block.
 func (c *Client) Delete(ctx context.Context, name string) error {
-	return c.do(ctx, "delete", func(conn net.Conn) error {
-		if err := request(conn, opDelete, name); err != nil {
+	return c.do(ctx, opDelete, func(conn net.Conn) error {
+		if err := c.beginRequest(opDelete, name); err != nil {
 			return err
 		}
-		_, err := readResponse(conn)
-		return err
+		if err := c.sendRequest(conn); err != nil {
+			return err
+		}
+		payload, err := c.readResponse(conn)
+		if err != nil {
+			return err
+		}
+		bufpool.Put(payload)
+		return nil
 	})
 }
 
 // Stat returns the size of a block.
 func (c *Client) Stat(ctx context.Context, name string) (int, error) {
 	var size int
-	err := c.do(ctx, "stat", func(conn net.Conn) error {
-		if err := request(conn, opStat, name); err != nil {
+	err := c.do(ctx, opStat, func(conn net.Conn) error {
+		if err := c.beginRequest(opStat, name); err != nil {
 			return err
 		}
-		payload, err := readResponse(conn)
+		if err := c.sendRequest(conn); err != nil {
+			return err
+		}
+		payload, err := c.readResponse(conn)
 		if err != nil {
 			return err
 		}
 		if len(payload) != 4 {
+			bufpool.Put(payload)
 			return fmt.Errorf("blockserver: malformed stat response of %d bytes", len(payload))
 		}
 		size = int(binary.BigEndian.Uint32(payload))
+		bufpool.Put(payload)
 		return nil
 	})
 	return size, err
@@ -346,11 +585,18 @@ func (c *Client) Stat(ctx context.Context, name string) (int, error) {
 // for an intact block, ErrCorrupt for detected bit rot, ErrNotFound for a
 // missing block. No block content crosses the network.
 func (c *Client) Verify(ctx context.Context, name string) error {
-	return c.do(ctx, "verify", func(conn net.Conn) error {
-		if err := request(conn, opVerify, name); err != nil {
+	return c.do(ctx, opVerify, func(conn net.Conn) error {
+		if err := c.beginRequest(opVerify, name); err != nil {
 			return err
 		}
-		_, err := readResponse(conn)
-		return err
+		if err := c.sendRequest(conn); err != nil {
+			return err
+		}
+		payload, err := c.readResponse(conn)
+		if err != nil {
+			return err
+		}
+		bufpool.Put(payload)
+		return nil
 	})
 }

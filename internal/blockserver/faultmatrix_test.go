@@ -129,8 +129,11 @@ func TestFaultMatrixHedgedRead(t *testing.T) {
 				t.Errorf("read path = %q (stats %+v), want %q", p, *stats, tc.wantPath)
 			}
 			// Lift the fault so the slow server's in-flight handlers drain,
-			// then require every client-side goroutine to be gone.
+			// close the store so the pool releases its parked connections
+			// (each warm connection keeps one server handler goroutine alive
+			// in-process), then require every goroutine to be gone.
 			injectors[tc.slow].SetDefault(faultnet.Policy{})
+			store.Close()
 			waitGoroutines(t, base)
 		})
 	}
@@ -200,6 +203,9 @@ func TestFaultMatrixRepair(t *testing.T) {
 			if err != nil || !bytes.Equal(got, data) {
 				t.Fatalf("read after fault-path repair: %v", err)
 			}
+			// Close the store so pooled connections (and their in-process
+			// server handler goroutines) are released before the leak check.
+			store.Close()
 			waitGoroutines(t, base)
 		})
 	}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package blockserver
+
+import "net"
+
+// peekStale is unavailable without unix socket peeking; staleIdle falls
+// back to its deadline-bounded read probe.
+func peekStale(net.Conn) (stale, ok bool) {
+	return false, false
+}

@@ -1,0 +1,41 @@
+//go:build unix
+
+package blockserver
+
+import (
+	"net"
+	"syscall"
+)
+
+// peekStale probes conn with a non-blocking MSG_PEEK: nothing consumed,
+// nothing blocked on. ok reports whether the probe ran; when it did, stale
+// is true for readable bytes (the stream desynced while parked) and for
+// EOF or any socket error (the peer dropped the connection).
+func peekStale(conn net.Conn) (stale, ok bool) {
+	sc, isSC := conn.(syscall.Conn)
+	if !isSC {
+		return false, false
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false, false
+	}
+	probed := false
+	if cerr := raw.Read(func(fd uintptr) bool {
+		var b [1]byte
+		n, _, err := syscall.Recvfrom(int(fd), b[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		probed = true
+		switch {
+		case n > 0:
+			stale = true // bytes nobody asked for: protocol desync
+		case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK:
+			stale = false // healthy idle: nothing to read
+		default:
+			stale = true // EOF (n==0, err==nil) or socket error
+		}
+		return true // never wait for readability
+	}); cerr != nil || !probed {
+		return false, false
+	}
+	return stale, true
+}

@@ -29,6 +29,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"carousel/internal/bufpool"
 )
 
 // Operation codes.
@@ -87,6 +89,9 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 // readFrame reads a length-prefixed byte string and verifies its checksum.
+// The returned buffer comes from the shared pool: callers either retain it
+// (taking over ownership, as the server's put path does) or hand it back
+// via Recycle once the bytes are consumed.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -97,90 +102,23 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("blockserver: frame of %d bytes exceeds limit", n)
 	}
 	crc := binary.BigEndian.Uint32(hdr[4:])
-	buf := make([]byte, n)
+	buf := bufpool.Get(int(n))
 	if _, err := io.ReadFull(r, buf); err != nil {
+		bufpool.Put(buf)
 		return nil, err
 	}
 	if Checksum(buf) != crc {
+		bufpool.Put(buf)
 		return nil, errFrameChecksum
 	}
 	return buf, nil
 }
 
-// writeName writes a length-prefixed block name.
-func writeName(w io.Writer, name string) error {
-	if len(name) == 0 || len(name) > maxNameLen {
-		return fmt.Errorf("blockserver: invalid name length %d", len(name))
-	}
-	var hdr [2]byte
-	binary.BigEndian.PutUint16(hdr[:], uint16(len(name)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := io.WriteString(w, name)
-	return err
-}
-
-// readName reads a length-prefixed block name.
-func readName(r io.Reader) (string, error) {
-	var hdr [2]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return "", err
-	}
-	n := binary.BigEndian.Uint16(hdr[:])
-	if n == 0 || n > maxNameLen {
-		return "", fmt.Errorf("blockserver: invalid name length %d", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
-	}
-	return string(buf), nil
-}
-
-// writeU32 / readU32 move fixed integers.
-func writeU32(w io.Writer, v uint32) error {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], v)
-	_, err := w.Write(b[:])
-	return err
-}
-
-func readU32(r io.Reader) (uint32, error) {
-	var b [4]byte
-	if _, err := io.ReadFull(r, b[:]); err != nil {
-		return 0, err
-	}
-	return binary.BigEndian.Uint32(b[:]), nil
-}
-
-// respond writes a status byte plus payload frame.
-func respond(w io.Writer, status byte, payload []byte) error {
-	if _, err := w.Write([]byte{status}); err != nil {
-		return err
-	}
-	return writeFrame(w, payload)
-}
-
-// readResponse reads a status byte plus payload frame and maps non-OK
-// statuses to errors.
-func readResponse(r io.Reader) ([]byte, error) {
-	var status [1]byte
-	if _, err := io.ReadFull(r, status[:]); err != nil {
-		return nil, err
-	}
-	payload, err := readFrame(r)
-	if err != nil {
-		return nil, err
-	}
-	switch status[0] {
-	case statusOK:
-		return payload, nil
-	case statusNotFound:
-		return nil, ErrNotFound
-	case statusCorrupt:
-		return nil, fmt.Errorf("%w: %s", ErrCorrupt, payload)
-	default:
-		return nil, fmt.Errorf("%w: %s", ErrRemote, payload)
-	}
+// Recycle returns a payload obtained from Get, GetRange, or Chunk to the
+// shared buffer pool once the caller has copied or consumed the bytes.
+// Recycling is optional (a forgotten buffer is simply garbage collected)
+// but keeps the steady-state read path allocation-free. The caller must
+// not touch the slice afterwards.
+func Recycle(b []byte) {
+	bufpool.Put(b)
 }

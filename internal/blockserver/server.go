@@ -1,10 +1,13 @@
 package blockserver
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
+	"carousel/internal/bufpool"
 	"carousel/internal/carousel"
 	"carousel/internal/obs"
 )
@@ -55,15 +58,96 @@ func statusName(st byte) string {
 	return "error"
 }
 
-// reply records the RPC outcome and sends the response. Every handle arm
-// funnels through here so the op/status counter and tx byte count cover
-// all served requests.
-func reply(conn net.Conn, op, st byte, payload []byte) error {
-	obs.Default().Counter("blockserver_server_rpcs_total", "op", opName(op), "status", statusName(st)).Inc()
+// srvRPCCounters interns every (op, status) counter once; row 0 doubles
+// as the bucket for unknown opcodes (opName(0) == "unknown"), so a bogus
+// op byte off the wire still lands on a preallocated counter.
+var (
+	srvRPCOnce     sync.Once
+	srvRPCCounters [opVerify + 1][statusCorrupt + 1]*obs.Counter
+)
+
+func srvRPCCounter(op, st byte) *obs.Counter {
+	srvRPCOnce.Do(func() {
+		for o := 0; o <= int(opVerify); o++ {
+			for s := 0; s <= int(statusCorrupt); s++ {
+				srvRPCCounters[o][s] = obs.Default().Counter("blockserver_server_rpcs_total", "op", opName(byte(o)), "status", statusName(byte(s)))
+			}
+		}
+	})
+	if op > opVerify {
+		op = 0
+	}
+	if st > statusCorrupt {
+		st = statusError
+	}
+	return srvRPCCounters[op][st]
+}
+
+// connState carries one connection's reusable scratch so a steady-state
+// request/response cycle allocates nothing server-side: the op byte, name
+// bytes, integer arguments, and response header all land in buffers that
+// live as long as the connection.
+type connState struct {
+	conn  net.Conn
+	hdr   [9]byte // response: status + payload length + payload CRC
+	small [4]byte // op byte, name length, and integer-argument scratch
+	name  []byte  // name scratch, grown to the largest name seen
+}
+
+func (cs *connState) readOp() (byte, error) {
+	if _, err := io.ReadFull(cs.conn, cs.small[:1]); err != nil {
+		return 0, err
+	}
+	return cs.small[0], nil
+}
+
+// readName reads a length-prefixed block name into the connection scratch.
+// The returned slice is only valid until the next request.
+func (cs *connState) readName() ([]byte, error) {
+	if _, err := io.ReadFull(cs.conn, cs.small[:2]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(cs.small[:2]))
+	if n == 0 || n > maxNameLen {
+		return nil, fmt.Errorf("blockserver: invalid name length %d", n)
+	}
+	if cap(cs.name) < n {
+		cs.name = make([]byte, n)
+	}
+	buf := cs.name[:n]
+	if _, err := io.ReadFull(cs.conn, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (cs *connState) readU32() (uint32, error) {
+	if _, err := io.ReadFull(cs.conn, cs.small[:4]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(cs.small[:4]), nil
+}
+
+// reply records the RPC outcome and sends the response: the status byte
+// and frame header are built in the connection scratch and flushed in one
+// write, followed by the payload. Every handle arm funnels through here so
+// the op/status counter and tx byte count cover all served requests.
+func (s *Server) reply(cs *connState, op, st byte, payload []byte) error {
+	srvRPCCounter(op, st).Inc()
 	if st == statusOK {
 		srvBytesTx.Add(int64(len(payload)))
 	}
-	return respond(conn, st, payload)
+	cs.hdr[0] = st
+	binary.BigEndian.PutUint32(cs.hdr[1:5], uint32(len(payload)))
+	binary.BigEndian.PutUint32(cs.hdr[5:9], Checksum(payload))
+	if _, err := cs.conn.Write(cs.hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := cs.conn.Write(payload)
+	return err
 }
 
 // storedBlock is one block at rest: its content plus the CRC32C computed at
@@ -192,25 +276,28 @@ func (s *Server) serveConn(conn net.Conn) {
 	srvConnsTotal.Inc()
 	srvConnsOpen.Add(1)
 	defer srvConnsOpen.Add(-1)
+	cs := &connState{conn: conn}
 	for {
-		var op [1]byte
-		if _, err := conn.Read(op[:]); err != nil {
-			return
-		}
-		name, err := readName(conn)
+		op, err := cs.readOp()
 		if err != nil {
 			return
 		}
-		if err := s.handle(conn, op[0], name); err != nil {
+		name, err := cs.readName()
+		if err != nil {
+			return
+		}
+		if err := s.handle(cs, op, name); err != nil {
 			return
 		}
 	}
 }
 
-// load fetches a stored block and verifies it against its ingest CRC.
-func (s *Server) load(name string) (storedBlock, byte) {
+// load fetches a stored block and verifies it against its ingest CRC. The
+// byte-slice key keeps the lookup allocation-free (the string conversion
+// in a map index does not escape).
+func (s *Server) load(name []byte) (storedBlock, byte) {
 	s.mu.RLock()
-	b, ok := s.blocks[name]
+	b, ok := s.blocks[string(name)]
 	s.mu.RUnlock()
 	if !ok {
 		return storedBlock{}, statusNotFound
@@ -222,18 +309,20 @@ func (s *Server) load(name string) (storedBlock, byte) {
 }
 
 // handle dispatches one request; protocol errors close the connection,
-// application errors are reported in-band.
-func (s *Server) handle(conn net.Conn, op byte, name string) error {
+// application errors are reported in-band. name is connection scratch,
+// only valid until the next request — arms that retain it (put, delete)
+// convert it to a string.
+func (s *Server) handle(cs *connState, op byte, name []byte) error {
 	switch op {
 	case opPut:
-		data, err := readFrame(conn)
+		data, err := readFrame(cs.conn)
 		if err != nil {
 			return err
 		}
 		srvBytesRx.Add(int64(len(data)))
 		s.mu.Lock()
-		prev, existed := s.blocks[name]
-		s.blocks[name] = storedBlock{data: data, crc: Checksum(data)}
+		prev, existed := s.blocks[string(name)]
+		s.blocks[string(name)] = storedBlock{data: data, crc: Checksum(data)}
 		s.mu.Unlock()
 		if existed {
 			srvBlockBytes.Add(int64(len(data) - len(prev.data)))
@@ -241,94 +330,88 @@ func (s *Server) handle(conn net.Conn, op byte, name string) error {
 			srvBlocks.Add(1)
 			srvBlockBytes.Add(int64(len(data)))
 		}
-		return reply(conn, op, statusOK, nil)
+		return s.reply(cs, op, statusOK, nil)
 
 	case opGet:
 		b, st := s.load(name)
 		if st != statusOK {
-			return reply(conn, op, st, []byte(name))
+			return s.reply(cs, op, st, name)
 		}
-		return reply(conn, op, statusOK, b.data)
+		return s.reply(cs, op, statusOK, b.data)
 
 	case opRange:
-		off, err := readU32(conn)
+		off, err := cs.readU32()
 		if err != nil {
 			return err
 		}
-		length, err := readU32(conn)
+		length, err := cs.readU32()
 		if err != nil {
 			return err
 		}
 		b, st := s.load(name)
 		if st != statusOK {
-			return reply(conn, op, st, []byte(name))
+			return s.reply(cs, op, st, name)
 		}
 		if int(off)+int(length) > len(b.data) {
-			return reply(conn, op, statusError, []byte(fmt.Sprintf("range [%d,%d) exceeds block of %d bytes", off, off+length, len(b.data))))
+			return s.reply(cs, op, statusError, []byte(fmt.Sprintf("range [%d,%d) exceeds block of %d bytes", off, off+length, len(b.data))))
 		}
-		return reply(conn, op, statusOK, b.data[off:off+length])
+		return s.reply(cs, op, statusOK, b.data[off:off+length])
 
 	case opChunk:
-		helper, err := readU32(conn)
+		helper, err := cs.readU32()
 		if err != nil {
 			return err
 		}
-		failed, err := readU32(conn)
+		failed, err := cs.readU32()
 		if err != nil {
 			return err
 		}
 		if s.code == nil {
-			return reply(conn, op, statusError, []byte("server has no code configured"))
+			return s.reply(cs, op, statusError, []byte("server has no code configured"))
 		}
 		b, st := s.load(name)
 		if st != statusOK {
-			return reply(conn, op, st, []byte(name))
+			return s.reply(cs, op, st, name)
 		}
 		chunk, err := s.code.HelperChunk(int(helper), int(failed), b.data)
 		if err != nil {
-			return reply(conn, op, statusError, []byte(err.Error()))
+			return s.reply(cs, op, statusError, []byte(err.Error()))
 		}
-		return reply(conn, op, statusOK, chunk)
+		err = s.reply(cs, op, statusOK, chunk)
+		bufpool.Put(chunk) // fully written; recycle the scratch
+		return err
 
 	case opDelete:
 		s.mu.Lock()
-		prev, existed := s.blocks[name]
-		delete(s.blocks, name)
+		prev, existed := s.blocks[string(name)]
+		delete(s.blocks, string(name))
 		s.mu.Unlock()
 		if existed {
 			srvBlocks.Add(-1)
 			srvBlockBytes.Add(-int64(len(prev.data)))
 		}
-		return reply(conn, op, statusOK, nil)
+		return s.reply(cs, op, statusOK, nil)
 
 	case opStat:
 		b, st := s.load(name)
 		if st != statusOK {
-			return reply(conn, op, st, []byte(name))
+			return s.reply(cs, op, st, name)
 		}
-		var size [4]byte
-		writeU32Into(size[:], uint32(len(b.data)))
-		return reply(conn, op, statusOK, size[:])
+		binary.BigEndian.PutUint32(cs.small[:4], uint32(len(b.data)))
+		return s.reply(cs, op, statusOK, cs.small[:4])
 
 	case opVerify:
 		// A scrub primitive: re-checksum the block server-side without
 		// shipping its content. statusOK means intact.
 		_, st := s.load(name)
 		if st != statusOK {
-			return reply(conn, op, st, []byte(name))
+			return s.reply(cs, op, st, name)
 		}
-		return reply(conn, op, statusOK, nil)
+		return s.reply(cs, op, statusOK, nil)
 
 	default:
-		return reply(conn, op, statusError, []byte(fmt.Sprintf("unknown op %d", op)))
+		return s.reply(cs, op, statusError, []byte(fmt.Sprintf("unknown op %d", op)))
 	}
-}
-
-func writeU32Into(b []byte, v uint32) {
-	b[0] = byte(v >> 24)
-	b[1] = byte(v >> 16)
-	b[2] = byte(v >> 8)
-	b[3] = byte(v)
 }
 
 // BlockCount returns the number of stored blocks (for tests).

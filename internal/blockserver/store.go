@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"carousel/internal/bufpool"
 	"carousel/internal/carousel"
 	"carousel/internal/obs"
 	"carousel/internal/reedsolomon"
@@ -25,7 +26,17 @@ var (
 	mRepairTraffic   = obs.Default().Counter("store_repair_traffic_bytes_total")
 	mSparePromotions = obs.Default().Counter("store_spare_promotions_total")
 	mRepairNS        = obs.Default().Histogram("store_repair_ns")
+	// Pipeline gauges: the configured depth and how many stripes are
+	// actually in flight right now.
+	mPipelineDepth    = obs.Default().Gauge("store_pipeline_depth")
+	mPipelineInflight = obs.Default().Gauge("store_pipeline_inflight")
 )
+
+// DefaultPipelineDepth is how many stripes ReadFile/WriteFile keep in
+// flight when WithPipelineDepth is not given: enough to hide one stripe's
+// network round trip behind its neighbors' decode/reassembly without
+// flooding the peer set.
+const DefaultPipelineDepth = 4
 
 // Store stripes files across n block servers with a Carousel code: block i
 // of every stripe lives on server i. Reads pull original data from up to p
@@ -44,6 +55,9 @@ type Store struct {
 	blockSize int
 	client    Options
 	hedge     time.Duration
+	depth     int   // stripes kept in flight by ReadFile/WriteFile
+	poolSize  int   // per-peer connection budget; <=0 disables pooling
+	pool      *Pool // shared by reads, writes, scrub, and repair
 }
 
 // StoreOption configures a Store.
@@ -64,6 +78,24 @@ func WithHedgeDelay(d time.Duration) StoreOption {
 	}
 }
 
+// WithPipelineDepth sets how many stripes ReadFile and WriteFile keep in
+// flight (default DefaultPipelineDepth; 1 restores strictly sequential
+// per-stripe behavior).
+func WithPipelineDepth(d int) StoreOption {
+	return func(s *Store) {
+		if d > 0 {
+			s.depth = d
+		}
+	}
+}
+
+// WithPoolSize sets the per-peer connection budget. Zero or negative
+// disables pooling entirely — every RPC dials a fresh connection, the
+// pre-pipeline behavior the A/B benchmark uses as its baseline.
+func WithPoolSize(n int) StoreOption {
+	return func(s *Store) { s.poolSize = n }
+}
+
 // NewStore builds a store over n server addresses.
 func NewStore(code *carousel.Code, addrs []string, blockSize int, opts ...StoreOption) (*Store, error) {
 	if len(addrs) != code.N() {
@@ -72,12 +104,37 @@ func NewStore(code *carousel.Code, addrs []string, blockSize int, opts ...StoreO
 	if blockSize <= 0 || blockSize%code.BlockAlign() != 0 {
 		return nil, fmt.Errorf("blockserver: block size %d must be a positive multiple of %d", blockSize, code.BlockAlign())
 	}
-	s := &Store{code: code, addrs: addrs, blockSize: blockSize, hedge: 500 * time.Millisecond}
+	s := &Store{
+		code:      code,
+		addrs:     addrs,
+		blockSize: blockSize,
+		hedge:     500 * time.Millisecond,
+		depth:     DefaultPipelineDepth,
+		poolSize:  DefaultPerPeer,
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.client = s.client.withDefaults()
+	per := s.poolSize
+	if per <= 0 {
+		per = -1 // pooling disabled: fresh client per checkout
+	}
+	s.pool = NewPool(addrs, PoolOptions{PerPeer: per, Client: s.client})
+	mPipelineDepth.Set(int64(s.depth))
 	return s, nil
+}
+
+// Close releases the store's pooled connections. Calls after Close fail
+// with ErrPoolClosed.
+func (s *Store) Close() {
+	s.pool.Close()
+}
+
+// Pool exposes the store's connection pool so adjacent layers (stream
+// adapters, repair tooling) fetch over the same bounded connection set.
+func (s *Store) Pool() *Pool {
+	return s.pool
 }
 
 // blockName keys a block on its server.
@@ -93,52 +150,95 @@ func BlockName(file string, stripe, idx int) string {
 }
 
 // WriteFile encodes data into stripes and uploads block i of every stripe
-// to server i. It returns the stripe count.
+// to server i. Stripes are pipelined: up to the configured depth encode
+// and upload concurrently, so stripe st+1's GF(2^8) work overlaps stripe
+// st's network round trips. It returns the stripe count.
 func (s *Store) WriteFile(ctx context.Context, name string, data []byte) (int, error) {
 	if len(data) == 0 {
 		return 0, errors.New("blockserver: empty file")
 	}
 	stripeData := s.code.K() * s.blockSize
 	stripes := (len(data) + stripeData - 1) / stripeData
-	for st := 0; st < stripes; st++ {
-		chunk := make([]byte, stripeData)
-		lo := st * stripeData
-		hi := lo + stripeData
-		if hi > len(data) {
-			hi = len(data)
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	sem := make(chan struct{}, s.depth)
+	errs := make([]error, stripes)
+	var wg sync.WaitGroup
+	launched := 0
+	for st := 0; st < stripes && wctx.Err() == nil; st++ {
+		select {
+		case sem <- struct{}{}:
+		case <-wctx.Done():
 		}
-		copy(chunk, data[lo:hi])
-		shards := make([][]byte, s.code.K())
-		for i := range shards {
-			shards[i] = chunk[i*s.blockSize : (i+1)*s.blockSize]
+		if wctx.Err() != nil {
+			break
 		}
-		blocks, err := s.code.Encode(shards)
-		if err != nil {
+		launched++
+		wg.Add(1)
+		go func(st int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			mPipelineInflight.Add(1)
+			defer mPipelineInflight.Add(-1)
+			if err := s.writeStripe(wctx, name, st, data, stripeData); err != nil {
+				errs[st] = err
+				wcancel() // no point launching stripes past a failure
+			}
+		}(st)
+	}
+	wg.Wait()
+	for st := range errs {
+		if errs[st] != nil {
+			return 0, fmt.Errorf("blockserver: stripe %d: %w", st, errs[st])
+		}
+	}
+	if launched < stripes {
+		if err := classify(ctx.Err()); err != nil {
 			return 0, err
 		}
-		var wg sync.WaitGroup
-		errs := make([]error, len(blocks))
-		for i, b := range blocks {
-			wg.Add(1)
-			go func(i int, b []byte) {
-				defer wg.Done()
-				errs[i] = s.put(ctx, s.addrs[i], blockName(name, st, i), b)
-			}(i, b)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return 0, err
-			}
-		}
+		return 0, context.Canceled
 	}
 	return stripes, nil
 }
 
+// writeStripe encodes and uploads one stripe. The encode scratch comes
+// from the buffer pool; pooled buffers carry stale bytes, so the padding
+// tail is explicitly cleared before encoding.
+func (s *Store) writeStripe(ctx context.Context, name string, st int, data []byte, stripeData int) error {
+	chunk := bufpool.Get(stripeData)
+	lo := st * stripeData
+	hi := lo + stripeData
+	if hi > len(data) {
+		hi = len(data)
+	}
+	n := copy(chunk, data[lo:hi])
+	clear(chunk[n:])
+	shards := make([][]byte, s.code.K())
+	for i := range shards {
+		shards[i] = chunk[i*s.blockSize : (i+1)*s.blockSize]
+	}
+	blocks, err := s.code.Encode(shards)
+	bufpool.Put(chunk) // Encode copies its input; the scratch is free again
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(blocks))
+	for i, b := range blocks {
+		wg.Add(1)
+		go func(i int, b []byte) {
+			defer wg.Done()
+			errs[i] = s.put(ctx, s.addrs[i], blockName(name, st, i), b)
+		}(i, b)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
 func (s *Store) put(ctx context.Context, addr, name string, data []byte) error {
-	c := NewClient(addr, s.client)
-	defer c.Close()
-	return c.Put(ctx, name, data)
+	return s.pool.WithClient(ctx, addr, func(c *Client) error {
+		return c.Put(ctx, name, data)
+	})
 }
 
 // ReadStats reports how a ReadFile was served — the observability hook the
@@ -160,20 +260,33 @@ type ReadStats struct {
 	// BytesFetched counts payload bytes received from servers, including
 	// bytes from streams that lost the any-k race.
 	BytesFetched int64
+	// Dials maps peer address to how many fresh TCP connections this read
+	// opened. A warm pooled read shows an empty map — every fetch reused a
+	// parked connection — which is what the reuse tests assert.
+	Dials map[string]int64
 	// TraceID identifies the read's span tree in the process tracer; fetch
 	// it with obs.DefaultTracer().Spans(TraceID) or /debug/traces.
 	TraceID uint64
+
+	// mu serializes the increment methods: with pipelined stripes several
+	// goroutines fold results into one ReadStats. A pointer keeps the
+	// struct copyable (tests format a dereferenced copy with %+v).
+	mu *sync.Mutex
 }
 
 // parallelStripe records a stripe served by the pure parallel path.
 func (rs *ReadStats) parallelStripe() {
+	rs.mu.Lock()
 	rs.StripesParallel++
+	rs.mu.Unlock()
 	mStripesParallel.Inc()
 }
 
 // fallbackStripe records a stripe that fell back to the any-k decode.
 func (rs *ReadStats) fallbackStripe() {
+	rs.mu.Lock()
 	rs.StripesFallback++
+	rs.mu.Unlock()
 	mStripesFallback.Inc()
 }
 
@@ -183,12 +296,16 @@ func (rs *ReadStats) fallbackStripe() {
 func (rs *ReadStats) source(r sourceResult) {
 	if r.err != nil {
 		if errors.Is(r.err, ErrCorrupt) {
+			rs.mu.Lock()
 			rs.CorruptSources++
+			rs.mu.Unlock()
 			mCorruptSources.Inc()
 		}
 		return
 	}
+	rs.mu.Lock()
 	rs.BytesFetched += int64(len(r.data))
+	rs.mu.Unlock()
 	mBytesFetched.Add(int64(len(r.data)))
 }
 
@@ -204,10 +321,15 @@ func (rs *ReadStats) Path() string {
 	}
 }
 
-// ReadFile reassembles size bytes of the file. Each stripe is first read
-// via the hedged p-source parallel path; on failure or straggling it is
-// decoded from the fastest k responders. The returned stats report which
-// path served each stripe.
+// ReadFile reassembles size bytes of the file. Stripes flow through a
+// bounded pipeline: up to the configured depth are in flight at once, so
+// one stripe's prefix fetches overlap its neighbors' decode and
+// reassembly, and each stripe decodes directly into its slot of a single
+// presized output buffer (no append growth, no final copy). Within a
+// stripe the hedged p-source parallel path runs first; on failure or
+// straggling the stripe is decoded from the fastest k responders. The
+// returned stats report which path served each stripe and how many fresh
+// connections the read cost.
 func (s *Store) ReadFile(ctx context.Context, name string, size int) ([]byte, *ReadStats, error) {
 	t0 := time.Now()
 	stripeData := s.code.K() * s.blockSize
@@ -218,28 +340,74 @@ func (s *Store) ReadFile(ctx context.Context, name string, size int) ([]byte, *R
 		sp.End()
 		mReadNS.Observe(time.Since(t0).Nanoseconds())
 	}()
-	stats := &ReadStats{TraceID: sp.TraceID()}
-	out := make([]byte, 0, size)
-	for st := 0; st < stripes; st++ {
-		data, err := s.readStripe(ctx, name, st, stats)
-		if err != nil {
-			sp.SetAttr("error", err.Error())
-			return nil, stats, fmt.Errorf("blockserver: stripe %d: %w", st, err)
+	stats := &ReadStats{TraceID: sp.TraceID(), mu: new(sync.Mutex)}
+	dialsBefore := s.pool.DialCounts()
+	out := make([]byte, stripes*stripeData)
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+	sem := make(chan struct{}, s.depth)
+	errs := make([]error, stripes)
+	var wg sync.WaitGroup
+	launched := 0
+	for st := 0; st < stripes && rctx.Err() == nil; st++ {
+		select {
+		case sem <- struct{}{}:
+		case <-rctx.Done():
 		}
-		out = append(out, data...)
+		if rctx.Err() != nil {
+			break
+		}
+		launched++
+		wg.Add(1)
+		go func(st int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			mPipelineInflight.Add(1)
+			defer mPipelineInflight.Add(-1)
+			dst := out[st*stripeData : (st+1)*stripeData]
+			if err := s.readStripeInto(rctx, name, st, dst, stats); err != nil {
+				errs[st] = err
+				rcancel() // later stripes are pointless once one failed
+			}
+		}(st)
+	}
+	wg.Wait()
+	stats.Dials = dialDelta(dialsBefore, s.pool.DialCounts())
+	for st := range errs {
+		if errs[st] != nil {
+			sp.SetAttr("error", errs[st].Error())
+			return nil, stats, fmt.Errorf("blockserver: stripe %d: %w", st, errs[st])
+		}
+	}
+	if launched < stripes {
+		err := classify(ctx.Err())
+		if err == nil {
+			err = context.Canceled
+		}
+		sp.SetAttr("error", err.Error())
+		return nil, stats, fmt.Errorf("blockserver: read aborted: %w", err)
 	}
 	// The verify stage: the per-block CRC verdicts arrived in-band with the
 	// fetches; here the reassembled file is checked for completeness and the
 	// corruption tally is pinned onto the trace.
 	_, vsp := obs.StartSpan(ctx, "verify")
-	vsp.SetAttr("bytes", len(out)).SetAttr("corrupt_sources", stats.CorruptSources)
-	short := len(out) < size
+	vsp.SetAttr("bytes", size).SetAttr("corrupt_sources", stats.CorruptSources)
 	vsp.End()
 	sp.SetAttr("path", stats.Path())
-	if short {
-		return nil, stats, fmt.Errorf("blockserver: short file: %d of %d bytes", len(out), size)
-	}
 	return out[:size], stats, nil
+}
+
+// dialDelta reports the per-peer dials that happened between two pool
+// snapshots, dropping zero entries (peers served entirely from parked
+// connections).
+func dialDelta(before, after map[string]int64) map[string]int64 {
+	d := make(map[string]int64)
+	for addr, v := range after {
+		if n := v - before[addr]; n > 0 {
+			d[addr] = n
+		}
+	}
+	return d
 }
 
 // sourceResult carries one source stream's outcome.
@@ -249,9 +417,12 @@ type sourceResult struct {
 	err  error
 }
 
-// readStripe fetches one stripe's original data: hedged parallel prefix
-// reads first, fastest-k fallback second.
-func (s *Store) readStripe(ctx context.Context, name string, st int, stats *ReadStats) ([]byte, error) {
+// readStripeInto fetches one stripe's original data directly into dst
+// (k*blockSize bytes): hedged parallel prefix reads first, fastest-k
+// fallback second. Fetches run over pooled clients, and every payload is
+// recycled once its bytes are copied or decoded, so a warm steady-state
+// stripe allocates almost nothing.
+func (s *Store) readStripeInto(ctx context.Context, name string, st int, dst []byte, stats *ReadStats) error {
 	ctx, ssp := obs.StartSpan(ctx, "stripe")
 	ssp.SetAttr("stripe", st)
 	defer ssp.End()
@@ -269,7 +440,8 @@ func (s *Store) readStripe(ctx context.Context, name string, st int, stats *Read
 
 	// Phase 1: fetch every data-bearing block's data prefix in parallel,
 	// bounded by the hedge deadline. The context bound guarantees every
-	// goroutine exits by the deadline, so the WaitGroup cannot leak.
+	// goroutine exits by the deadline — a checkout blocked on an exhausted
+	// pool gives up with it — so the WaitGroup cannot leak.
 	fetchCtx, fsp := obs.StartSpan(ctx, "fetch")
 	fsp.SetAttr("mode", "parallel").SetAttr("sources", p)
 	hctx, hcancel := context.WithTimeout(fetchCtx, s.hedge)
@@ -279,27 +451,33 @@ func (s *Store) readStripe(ctx context.Context, name string, st int, stats *Read
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c := NewClient(s.addrs[i], s.client)
-			defer c.Close()
+			c, err := s.pool.Get(hctx, s.addrs[i])
+			if err != nil {
+				results <- sourceResult{idx: i, err: err}
+				return
+			}
 			data, err := c.GetRange(hctx, blockName(name, st, i), 0, per)
+			s.pool.Put(c)
 			results <- sourceResult{idx: i, data: data, err: err}
 		}(i)
 	}
-	prefixes := make([][]byte, p)
 	ok := 0
 	failed := false
 	for ok < p {
 		r := <-results
+		stats.source(r)
 		if r.err != nil {
 			// One bad source is enough to know the pure parallel path
 			// cannot complete: bail out to the any-k fallback immediately
 			// instead of waiting for the hedge deadline.
-			stats.source(r)
 			failed = true
 			break
 		}
-		stats.source(r)
-		prefixes[r.idx] = r.data
+		// Reassemble in place: this prefix's slot in the output is known, so
+		// the bytes land directly in dst and the wire buffer goes back to
+		// the pool.
+		copy(dst[r.idx*per:(r.idx+1)*per], r.data)
+		Recycle(r.data)
 		ok++
 	}
 	hcancel()
@@ -309,20 +487,18 @@ func (s *Store) readStripe(ctx context.Context, name string, st int, stats *Read
 	// this drain, a corrupt block whose verdict arrived second was
 	// invisible to CorruptSources.
 	for drained := ok + btoi(failed); drained < p; drained++ {
-		stats.source(<-results)
+		r := <-results
+		stats.source(r)
+		Recycle(r.data)
 	}
 	fsp.SetAttr("ok", ok).SetAttr("failed", failed)
 	fsp.End()
 	if !failed {
 		stats.parallelStripe()
-		out := make([]byte, s.code.K()*s.blockSize)
-		for i := 0; i < p; i++ {
-			copy(out[i*per:(i+1)*per], prefixes[i])
-		}
-		return out, nil
+		return nil
 	}
 	stats.fallbackStripe()
-	return s.readStripeAnyK(ctx, name, st, stats)
+	return s.readStripeAnyKInto(ctx, name, st, dst, stats)
 }
 
 // btoi converts a bool to its 0/1 count.
@@ -333,11 +509,12 @@ func btoi(b bool) int {
 	return 0
 }
 
-// readStripeAnyK decodes one stripe from the fastest k responders: whole
-// blocks are requested from all n servers, the first k intact responses
-// win, and every other stream is cancelled (per-source cancellation via
-// the client's deadline watcher — no goroutine leaks).
-func (s *Store) readStripeAnyK(ctx context.Context, name string, st int, stats *ReadStats) ([]byte, error) {
+// readStripeAnyKInto decodes one stripe from the fastest k responders into
+// dst: whole blocks are requested from all n servers, the first k intact
+// responses win, and every other stream is cancelled (per-source
+// cancellation via the client's deadline watcher — no goroutine leaks).
+// Winning blocks are recycled after the decode, losers as they drain.
+func (s *Store) readStripeAnyKInto(ctx context.Context, name string, st int, dst []byte, stats *ReadStats) error {
 	n := s.code.N()
 	k := s.code.K()
 	fetchCtx, fsp := obs.StartSpan(ctx, "fetch")
@@ -350,9 +527,13 @@ func (s *Store) readStripeAnyK(ctx context.Context, name string, st int, stats *
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c := NewClient(s.addrs[i], s.client)
-			defer c.Close()
+			c, err := s.pool.Get(fctx, s.addrs[i])
+			if err != nil {
+				results <- sourceResult{idx: i, err: err}
+				return
+			}
 			data, err := c.Get(fctx, blockName(name, st, i))
+			s.pool.Put(c)
 			results <- sourceResult{idx: i, data: data, err: err}
 		}(i)
 	}
@@ -378,18 +559,26 @@ func (s *Store) readStripeAnyK(ctx context.Context, name string, st int, stats *
 	fcancel()
 	wg.Wait()
 	for drained := got + failures; drained < n; drained++ {
-		stats.source(<-results)
+		r := <-results
+		stats.source(r)
+		Recycle(r.data)
 	}
 	fsp.SetAttr("got", got).SetAttr("failures", failures)
 	fsp.End()
 	if got < k {
-		return nil, fmt.Errorf("%w: %d of %d blocks readable (first failure: %v)", ErrTooFewSurvivors, got, k, firstErr)
+		for _, b := range blocks {
+			Recycle(b)
+		}
+		return fmt.Errorf("%w: %d of %d blocks readable (first failure: %v)", ErrTooFewSurvivors, got, k, firstErr)
 	}
 	_, dsp := obs.StartSpan(ctx, "decode")
 	dsp.SetAttr("blocks", got).SetAttr("bytes", k*s.blockSize)
-	out, err := s.code.ParallelRead(blocks)
+	err := s.code.ParallelReadInto(blocks, dst)
 	dsp.End()
-	return out, err
+	for _, b := range blocks {
+		Recycle(b)
+	}
+	return err
 }
 
 // Repair regenerates block failed of a stripe from d helper chunks
@@ -438,9 +627,13 @@ func (s *Store) Repair(ctx context.Context, name string, st, failed int) (traffi
 				cctx, cancel = context.WithTimeout(fctx, s.hedge)
 				defer cancel()
 			}
-			c := NewClient(s.addrs[i], s.client)
-			defer c.Close()
+			c, cerr := s.pool.Get(cctx, s.addrs[i])
+			if cerr != nil {
+				results <- sourceResult{idx: i, err: cerr}
+				return
+			}
 			chunk, cerr := c.Chunk(cctx, blockName(name, st, i), i, failed)
+			s.pool.Put(c)
 			results <- sourceResult{idx: i, data: chunk, err: cerr}
 		}()
 	}
@@ -474,15 +667,32 @@ func (s *Store) Repair(ctx context.Context, name string, st, failed int) (traffi
 	}
 	fcancel()
 	wg.Wait()
+	// Drain chunks from helpers that answered after the decision so their
+	// pooled buffers are reusable instead of garbage.
+	for {
+		select {
+		case r := <-results:
+			Recycle(r.data)
+			continue
+		default:
+		}
+		break
+	}
 	fsp.SetAttr("helpers_responded", len(helpers))
 	fsp.End()
 	if len(helpers) < d {
+		for _, c := range chunks {
+			Recycle(c)
+		}
 		return trafficBytes, fmt.Errorf("%w: only %d of %d helpers responded", ErrTooFewSurvivors, len(helpers), d)
 	}
 	_, dsp := obs.StartSpan(ctx, "decode")
 	block, err := s.code.RepairBlock(failed, helpers, chunks)
 	dsp.SetAttr("block_bytes", len(block))
 	dsp.End()
+	for _, c := range chunks {
+		Recycle(c)
+	}
 	if err != nil {
 		return trafficBytes, err
 	}
@@ -536,9 +746,11 @@ func (s *Store) Scrub(ctx context.Context, name string, size int, repair bool) (
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				c := NewClient(s.addrs[i], s.client)
-				defer c.Close()
-				verdicts[i] = c.Verify(ctx, blockName(name, st, i))
+				// Probes ride the shared pool: one parked client per peer
+				// serves the whole scrub instead of a dial per probe.
+				verdicts[i] = s.pool.WithClient(ctx, s.addrs[i], func(c *Client) error {
+					return c.Verify(ctx, blockName(name, st, i))
+				})
 			}(i)
 		}
 		wg.Wait()

@@ -1,0 +1,82 @@
+package blockserver
+
+import (
+	"context"
+	"sync"
+
+	"carousel/internal/stream"
+)
+
+// Sink returns a stream.BlockSink that uploads each encoded block of the
+// named file to its home server through the store's connection pool, under
+// the store's block-naming scheme. A stream.Writer stacked on it is the
+// streaming counterpart of WriteFile: blocks ride the same pooled
+// connections and land where ReadFile and Repair expect them.
+func (s *Store) Sink(ctx context.Context, name string) stream.BlockSink {
+	return &storeSink{s: s, ctx: ctx, name: name}
+}
+
+type storeSink struct {
+	s    *Store
+	ctx  context.Context
+	name string
+}
+
+func (k *storeSink) PutBlock(stripe, block int, data []byte) error {
+	return k.s.put(k.ctx, k.s.addrs[block], blockName(k.name, stripe, block), data)
+}
+
+// Source returns a stream.BlockSource that fetches whole blocks of the
+// named file over the store's connection pool, one pooled client per
+// server. Blocks whose server is down, whose content is corrupt, or that
+// are simply missing come back nil, so a stream.Reader (or
+// PrefetchReader) on top degrades per stripe through the Carousel
+// parallel read instead of failing the stream. The source implements
+// stream.BlockRecycler, so a PrefetchReader returns the fetched buffers
+// to the pool as soon as each stripe is decoded.
+func (s *Store) Source(ctx context.Context, name string) stream.BlockSource {
+	return &storeSource{s: s, ctx: ctx, name: name}
+}
+
+type storeSource struct {
+	s    *Store
+	ctx  context.Context
+	name string
+}
+
+func (src *storeSource) StripeBlocks(stripe int) ([][]byte, error) {
+	n := src.s.code.N()
+	blocks := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Per-block failures leave a nil entry; the decoder works
+			// around up to n-k of them.
+			_ = src.s.pool.WithClient(src.ctx, src.s.addrs[i], func(c *Client) error {
+				data, err := c.Get(src.ctx, blockName(src.name, stripe, i))
+				if err == nil {
+					blocks[i] = data
+				}
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	if err := src.ctx.Err(); err != nil {
+		for _, b := range blocks {
+			Recycle(b)
+		}
+		return nil, classify(err)
+	}
+	return blocks, nil
+}
+
+// RecycleBlocks implements stream.BlockRecycler: fetched blocks go back to
+// the buffer pool once the stripe they belong to is decoded.
+func (src *storeSource) RecycleBlocks(blocks [][]byte) {
+	for _, b := range blocks {
+		Recycle(b)
+	}
+}

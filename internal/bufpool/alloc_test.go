@@ -1,0 +1,19 @@
+//go:build !race
+
+package bufpool
+
+import "testing"
+
+// Allocation pins live behind !race: the race detector's instrumentation
+// perturbs allocation counts, and the regular suite already runs these.
+
+func TestAllocFreeSteadyState(t *testing.T) {
+	b := Get(4096)
+	Put(b)
+	n := testing.AllocsPerRun(100, func() {
+		Put(Get(4096))
+	})
+	if n > 0 {
+		t.Errorf("steady-state Get/Put allocates %.1f times per run, want 0", n)
+	}
+}

@@ -1,0 +1,121 @@
+// Package bufpool is a size-classed free list of byte slices for the hot
+// I/O paths: wire frames, stripe prefixes, and decode scratch. Unlike
+// sync.Pool it survives garbage collections (so allocation-regression
+// tests are deterministic) and it never boxes a slice header into an
+// interface, so Put itself is allocation-free. Buffers are grouped into
+// power-of-two classes; each class keeps a small bounded stack under its
+// own mutex, so a dropped buffer is reclaimed by the GC instead of growing
+// the pool without bound.
+//
+// Ownership is explicit: Get hands the caller exclusive use of the slice,
+// and Put must only be called once the caller is done with it. Forgetting
+// to Put is safe (the buffer is garbage collected, the pool just misses a
+// reuse); double-Put is a caller bug that aliases two owners.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+
+	"carousel/internal/obs"
+)
+
+const (
+	// minClassBits is the smallest class (64 B): tinier buffers are cheaper
+	// to allocate than to synchronize on.
+	minClassBits = 6
+	// maxClassBits is the largest class (64 MiB): anything bigger goes
+	// straight to the allocator.
+	maxClassBits = 26
+	// maxPerClass bounds how many buffers a class retains.
+	maxPerClass = 64
+)
+
+// Pool metrics: the hit rate is the tentpole observability signal for the
+// zero-alloc read path (a steady-state pipelined read should sit near
+// 1000 permille).
+var (
+	mHits   = obs.Default().Counter("bufpool_hits_total")
+	mMisses = obs.Default().Counter("bufpool_misses_total")
+	mDrops  = obs.Default().Counter("bufpool_drops_total")
+	mIdle   = obs.Default().Gauge("bufpool_idle_bytes")
+)
+
+func init() {
+	obs.Default().GaugeFunc("bufpool_hit_rate_permille", func() int64 {
+		h, m := mHits.Value(), mMisses.Value()
+		if h+m == 0 {
+			return 0
+		}
+		return h * 1000 / (h + m)
+	})
+}
+
+// class is one size class: a bounded LIFO stack of buffers.
+type class struct {
+	mu   sync.Mutex
+	bufs [][]byte
+}
+
+var classes [maxClassBits + 1]class
+
+// classFor returns the class index whose capacity (1<<idx) is the smallest
+// one holding n bytes, clamped below at minClassBits.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return minClassBits
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Get returns a slice of length n with exclusive ownership. The contents
+// are unspecified (reused buffers carry stale bytes); callers must
+// overwrite the full length before reading it.
+func Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	c := classFor(n)
+	if c > maxClassBits {
+		mMisses.Inc()
+		return make([]byte, n)
+	}
+	cl := &classes[c]
+	cl.mu.Lock()
+	if last := len(cl.bufs) - 1; last >= 0 {
+		b := cl.bufs[last]
+		cl.bufs[last] = nil
+		cl.bufs = cl.bufs[:last]
+		cl.mu.Unlock()
+		mHits.Inc()
+		mIdle.Add(-int64(cap(b)))
+		return b[:n]
+	}
+	cl.mu.Unlock()
+	mMisses.Inc()
+	return make([]byte, n, 1<<c)
+}
+
+// Put returns a buffer to its class. Buffers whose capacity falls below
+// the smallest class (or that are nil) are dropped. A buffer of foreign
+// origin is filed under the largest class its capacity fully covers, so a
+// later Get can always slice its requested length out of it.
+func Put(b []byte) {
+	c := bits.Len(uint(cap(b))) - 1 // floor log2: 1<<c <= cap(b)
+	if c < minClassBits {
+		return
+	}
+	if c > maxClassBits {
+		c = maxClassBits
+	}
+	cl := &classes[c]
+	cl.mu.Lock()
+	if len(cl.bufs) >= maxPerClass {
+		cl.mu.Unlock()
+		mDrops.Inc()
+		return
+	}
+	cl.bufs = append(cl.bufs, b)
+	cl.mu.Unlock()
+	mIdle.Add(int64(cap(b)))
+}

@@ -1,0 +1,86 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	b := Get(1000)
+	if len(b) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(b))
+	}
+	if cap(b) != 1024 {
+		t.Fatalf("cap = %d, want the 1024 class", cap(b))
+	}
+	for i := range b {
+		b[i] = byte(i)
+	}
+	Put(b)
+	// The same class must serve the next request of any fitting length.
+	c := Get(700)
+	if len(c) != 700 {
+		t.Fatalf("len = %d, want 700", len(c))
+	}
+	if &c[0] != &b[0] {
+		t.Error("Get after Put did not reuse the buffer")
+	}
+}
+
+func TestTinyAndHugeBypass(t *testing.T) {
+	if b := Get(0); b != nil {
+		t.Errorf("Get(0) = %v, want nil", b)
+	}
+	if b := Get(-1); b != nil {
+		t.Errorf("Get(-1) = %v, want nil", b)
+	}
+	huge := Get(1<<maxClassBits + 1)
+	if len(huge) != 1<<maxClassBits+1 {
+		t.Fatalf("huge len = %d", len(huge))
+	}
+	Put(huge) // filed under the max class, not lost
+	Put(nil)  // no-op
+	Put(make([]byte, 3)) // below the min class: dropped
+}
+
+func TestForeignCapacityIsFiledByFloor(t *testing.T) {
+	// A 100-cap buffer covers class 6 (64 B) fully but not class 7.
+	Put(make([]byte, 100))
+	b := Get(64)
+	if cap(b) < 64 {
+		t.Fatalf("cap = %d, want >= 64", cap(b))
+	}
+}
+
+func TestBoundedRetention(t *testing.T) {
+	cl := &classes[10]
+	cl.mu.Lock()
+	cl.bufs = cl.bufs[:0]
+	cl.mu.Unlock()
+	for i := 0; i < maxPerClass+10; i++ {
+		Put(make([]byte, 1<<10))
+	}
+	cl.mu.Lock()
+	n := len(cl.bufs)
+	cl.mu.Unlock()
+	if n != maxPerClass {
+		t.Fatalf("class retained %d buffers, want the %d cap", n, maxPerClass)
+	}
+}
+
+// TestConcurrent shakes the freelist under the race detector.
+func TestConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := Get(512 + g)
+				b[0] = byte(i)
+				Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

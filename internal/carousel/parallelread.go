@@ -120,16 +120,36 @@ func (c *Code) PlanRead(available []bool, blockSize int) (*ReadPlan, error) {
 // VII (plus the parity-unit extension when no spare blocks exist). blocks
 // must have length n with nil entries for unavailable blocks.
 func (c *Code) ParallelRead(blocks [][]byte) ([]byte, error) {
-	present, size, err := c.survey(blocks)
+	_, size, err := c.survey(blocks)
 	if err != nil {
 		return nil, err
 	}
+	out := make([]byte, c.k*size)
+	if err := c.ParallelReadInto(blocks, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParallelReadInto is ParallelRead writing into a caller-provided buffer
+// of exactly k*blockSize bytes. Every byte of out is overwritten (direct
+// prefixes are copied, solved ranges start with a full-overwrite op, the
+// any-k fallback copies whole shards), so a reused or pooled buffer needs
+// no clearing — this is what keeps the pipelined store's steady-state
+// decode allocation-free.
+func (c *Code) ParallelReadInto(blocks [][]byte, out []byte) error {
+	present, size, err := c.survey(blocks)
+	if err != nil {
+		return err
+	}
 	if len(present) < c.k {
-		return nil, fmt.Errorf("%w: %d present, need %d", ErrTooFewBlocks, len(present), c.k)
+		return fmt.Errorf("%w: %d present, need %d", ErrTooFewBlocks, len(present), c.k)
+	}
+	if len(out) != c.k*size {
+		return fmt.Errorf("carousel: output buffer holds %d bytes, want %d", len(out), c.k*size)
 	}
 	usize := size / c.units
 	per := c.kUnits * usize
-	out := make([]byte, c.k*size)
 
 	available := make([]bool, c.n)
 	for _, i := range present {
@@ -148,23 +168,23 @@ func (c *Code) ParallelRead(blocks [][]byte) ([]byte, error) {
 		}
 	}
 	if len(missing) == 0 {
-		return out, nil
+		return nil
 	}
 
 	if solver, err := c.degradedSolver(missing, available); err == nil {
 		solver.solve(c, blocks, out, usize)
-		return out, nil
+		return nil
 	}
 
 	// Fallback: full decode from any k blocks.
 	data, err := c.Decode(blocks)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i, shard := range data {
 		copy(out[i*size:(i+1)*size], shard)
 	}
-	return out, nil
+	return nil
 }
 
 // readSolver solves for the data units of missing data-bearing blocks from

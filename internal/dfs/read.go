@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"carousel/internal/bufpool"
 	"carousel/internal/cluster"
 	"carousel/internal/obs"
 )
@@ -232,8 +233,19 @@ func (fs *FS) readCarousel(ctx context.Context, p *cluster.Proc, client *cluster
 	sim := fs.cluster.Sim()
 	wg := sim.NewWaitGroup()
 	var decodeWork int64
+	// Per-stripe scratch is hoisted out of the loop: the availability
+	// vector and block table are reused across stripes, and the decode
+	// output for short tail stripes comes from the shared buffer pool.
+	avail := make([]bool, code.N())
+	blocks := make([][]byte, code.N())
+	stripeBytes := code.K() * f.blockSize
+	scratch := bufpool.Get(stripeBytes)
+	defer bufpool.Put(scratch)
 	for si, st := range f.stripes {
-		avail := make([]bool, code.N())
+		for i := range avail {
+			avail[i] = false
+			blocks[i] = nil
+		}
 		for i := range st.blocks {
 			avail[i] = st.available(i)
 		}
@@ -273,23 +285,29 @@ func (fs *FS) readCarousel(ctx context.Context, p *cluster.Proc, client *cluster
 			missingData := code.P() - len(plan.Direct)
 			decodeWork += int64(missingData) * int64(code.DataBytesPerBlock(0, f.blockSize))
 		}
-		// Reassemble with the real decoder on the in-memory blocks.
-		blocks := make([][]byte, code.N())
+		// Reassemble with the real decoder on the in-memory blocks. Full
+		// stripes decode directly into their slot of the output buffer;
+		// only a short tail stripe goes through the pooled scratch.
 		for i := range st.blocks {
 			if avail[i] {
 				blocks[i] = st.blocks[i].content
 			}
-		}
-		data, err := code.ParallelRead(blocks)
-		if err != nil {
-			return fmt.Errorf("dfs: carousel read of %s stripe %d: %w", f.name, si, err)
 		}
 		lo := si * f.dataPerStripe
 		hi := lo + f.dataPerStripe
 		if hi > f.size {
 			hi = f.size
 		}
-		copy(res.Data[lo:hi], data[:hi-lo])
+		dst := scratch
+		if hi-lo == stripeBytes {
+			dst = res.Data[lo:hi]
+		}
+		if err := code.ParallelReadInto(blocks, dst); err != nil {
+			return fmt.Errorf("dfs: carousel read of %s stripe %d: %w", f.name, si, err)
+		}
+		if hi-lo != stripeBytes {
+			copy(res.Data[lo:hi], dst[:hi-lo])
+		}
 	}
 	wg.Wait(p)
 	fsp.SetAttr("bytes", res.BytesFetched).End()

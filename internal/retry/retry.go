@@ -104,6 +104,15 @@ func Do(ctx context.Context, p Policy, retryable func(error) bool, op func(conte
 	return err
 }
 
+// Wait sleeps the jittered backoff that follows the attempt-th failure
+// (1-based), or returns early when ctx is done; it reports whether the
+// full wait elapsed. Callers that cannot afford Do's per-call closure on
+// an allocation-pinned hot path inline the attempt loop themselves and
+// use Wait between tries.
+func (p Policy) Wait(ctx context.Context, attempt int) bool {
+	return sleep(ctx, p.jittered(p.Backoff(attempt)))
+}
+
 // sleep waits d or until ctx is done, reporting whether the full wait
 // elapsed.
 func sleep(ctx context.Context, d time.Duration) bool {

@@ -1,0 +1,176 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"carousel/internal/bufpool"
+	"carousel/internal/carousel"
+)
+
+// DefaultPrefetchDepth is how many stripes a PrefetchReader keeps in
+// flight when NewPrefetchReader is given a non-positive depth. It matches
+// the block store's default pipeline depth so a stream stacked on a Store
+// keeps the same number of stripes moving.
+const DefaultPrefetchDepth = 4
+
+// BlockRecycler is an optional BlockSource extension. A source whose
+// stripe blocks come out of a buffer pool implements it so the
+// PrefetchReader can hand the blocks back as soon as a stripe is decoded;
+// sources that retain ownership of their blocks (like MemSink) simply
+// don't implement it and are never called.
+type BlockRecycler interface {
+	RecycleBlocks(blocks [][]byte)
+}
+
+// stripeResult is one decoded stripe (or the error that sank it).
+type stripeResult struct {
+	data []byte // pooled; ownership moves to the receiver
+	err  error
+}
+
+// PrefetchReader is a pipelined Reader: while the caller consumes stripe
+// st, up to depth later stripes are being fetched from the source and
+// decoded concurrently, so the source's latency hides behind the
+// consumer's pace instead of serializing with it. Decoded stripes come out
+// of the shared buffer pool and go back as they are consumed, so a
+// steady-state stream allocates almost nothing.
+//
+// The reader is for a single consumer goroutine. Close releases every
+// in-flight stripe; it must be called when the caller stops early, and is
+// idempotent.
+type PrefetchReader struct {
+	size   int64
+	off    int64
+	cur    []byte // pooled; current decoded stripe
+	curOff int
+	queue  chan chan stripeResult // stripe results in order, depth-bounded
+	quit   chan struct{}
+	closed bool
+}
+
+// NewPrefetchReader returns a pipelined streaming decoder for a stream of
+// the given original size. depth bounds how many stripes are fetched and
+// decoded ahead of the consumer; non-positive means DefaultPrefetchDepth.
+func NewPrefetchReader(code *carousel.Code, blockSize int, size int64, src BlockSource, depth int) (*PrefetchReader, error) {
+	if blockSize <= 0 || blockSize%code.BlockAlign() != 0 {
+		return nil, fmt.Errorf("stream: block size %d must be a positive multiple of %d", blockSize, code.BlockAlign())
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("stream: negative size %d", size)
+	}
+	if src == nil {
+		return nil, errors.New("stream: nil source")
+	}
+	if depth <= 0 {
+		depth = DefaultPrefetchDepth
+	}
+	r := &PrefetchReader{
+		size:  size,
+		queue: make(chan chan stripeResult, depth),
+		quit:  make(chan struct{}),
+	}
+	go dispatch(code, blockSize, size, src, r.queue, r.quit)
+	return r, nil
+}
+
+// dispatch launches one fetch+decode goroutine per stripe, in order. The
+// queue's capacity is the pipeline depth: enqueueing the stripe's result
+// slot blocks once depth stripes are outstanding, which is what throttles
+// the prefetch to the consumer's pace. Each worker delivers into its own
+// buffered slot, so workers never block and never leak, even when the
+// reader is closed mid-stream.
+func dispatch(code *carousel.Code, blockSize int, size int64, src BlockSource, queue chan chan stripeResult, quit chan struct{}) {
+	defer close(queue)
+	per := int64(code.K()) * int64(blockSize)
+	stripes := int((size + per - 1) / per)
+	for st := 0; st < stripes; st++ {
+		slot := make(chan stripeResult, 1)
+		select {
+		case queue <- slot:
+		case <-quit:
+			return
+		}
+		go func(st int, slot chan<- stripeResult) {
+			blocks, err := src.StripeBlocks(st)
+			if err != nil {
+				slot <- stripeResult{err: fmt.Errorf("stream: fetching stripe %d: %w", st, err)}
+				return
+			}
+			out := bufpool.Get(int(per))
+			if err := code.ParallelReadInto(blocks, out); err != nil {
+				bufpool.Put(out)
+				slot <- stripeResult{err: fmt.Errorf("stream: decoding stripe %d: %w", st, err)}
+				return
+			}
+			if rec, ok := src.(BlockRecycler); ok {
+				rec.RecycleBlocks(blocks)
+			}
+			slot <- stripeResult{data: out}
+		}(st, slot)
+	}
+}
+
+// Read implements io.Reader. Stripes arrive in order regardless of which
+// finished decoding first.
+func (r *PrefetchReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, errors.New("stream: read after Close")
+	}
+	if r.off >= r.size {
+		return 0, io.EOF
+	}
+	if r.curOff >= len(r.cur) {
+		if r.cur != nil {
+			bufpool.Put(r.cur)
+			r.cur = nil
+		}
+		slot, ok := <-r.queue
+		if !ok {
+			return 0, io.ErrUnexpectedEOF
+		}
+		res := <-slot
+		if res.err != nil {
+			return 0, res.err
+		}
+		r.cur = res.data
+		r.curOff = 0
+	}
+	n := copy(p, r.cur[r.curOff:])
+	if rem := r.size - r.off; int64(n) > rem {
+		n = int(rem)
+	}
+	r.curOff += n
+	r.off += int64(n)
+	if n == 0 && r.off < r.size {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+// Close stops the prefetcher and returns every in-flight stripe buffer to
+// the pool. It is idempotent and must be called when the consumer stops
+// before EOF; reading after Close fails.
+func (r *PrefetchReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	close(r.quit)
+	// Drain stripes already dispatched: each has a worker that will deliver
+	// into its buffered slot, so receiving here cannot hang and returns
+	// their pooled buffers.
+	for slot := range r.queue {
+		if res := <-slot; res.data != nil {
+			bufpool.Put(res.data)
+		}
+	}
+	if r.cur != nil {
+		bufpool.Put(r.cur)
+		r.cur = nil
+	}
+	return nil
+}
+
+var _ io.ReadCloser = (*PrefetchReader)(nil)

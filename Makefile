@@ -8,7 +8,7 @@ RACE_PKGS = ./internal/codeplan ./internal/workpool ./internal/matrix ./internal
 # detector to shake out order-dependent leaks and redial races.
 FAULT_PKGS = ./internal/blockserver ./internal/dfs ./internal/faultnet
 
-.PHONY: check vet build test race faults bench bench-net obs
+.PHONY: check vet build test race faults bench bench-net bench-recovery obs
 
 check: vet build test race
 
@@ -38,6 +38,14 @@ bench:
 # -benchmem-style allocation counts; refreshes BENCH_clusterbench.json.
 bench-net:
 	$(GO) run ./cmd/clusterbench -fig net -json
+
+# The recovery A/B: the parallel recovery engine (Store.RecoverServer,
+# depth-bounded pipeline + stripe-rotated helpers) vs the sequential repair
+# loop, regenerating a failed server's blocks over a live loopback TCP
+# cluster with an emulated per-write network RTT; refreshes the recovery
+# section of BENCH_clusterbench.json.
+bench-recovery:
+	$(GO) run ./cmd/clusterbench -fig recovery -json
 
 # The observability layer: metric/span correctness under the race detector,
 # the degraded-read trace e2e, then a live 3-node cluster scrape.

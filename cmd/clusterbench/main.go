@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	clusterbench [-fig all|9|10|11|deg|tail|net] [-scale 32] [-netmb 8] [-netreps 3] [-json]
+//	clusterbench [-fig all|9|10|11|deg|tail|net|recovery] [-scale 32] [-netmb 8] [-netreps 3] [-recmb 8] [-recreps 3] [-json]
 //
 // -scale divides the data size and every bandwidth by the same factor, so
 // simulated durations equal the full-scale run while the real task logic
@@ -23,8 +23,12 @@
 // -fig net is different in kind: it boots a live 12-server TCP cluster on
 // loopback and A/Bs the pipelined pooled read/write engine against the
 // sequential dial-per-stripe baseline on a -netmb MiB, 16-stripe file
-// (never simulated, so it is excluded from -fig all). With -json the
-// measurements are also written to BENCH_clusterbench.json.
+// (never simulated, so it is excluded from -fig all). -fig recovery is its
+// node-repair sibling: one server of the live cluster is declared failed
+// and the parallel recovery engine (Store.RecoverServer) is A/B'd against
+// the sequential repair loop on a -recmb MiB file, reporting recovery MB/s
+// and the per-helper chunk spread. With -json the measurements are also
+// written to BENCH_clusterbench.json (each figure owns a section).
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"carousel/internal/bench"
 	"carousel/internal/carousel"
@@ -64,11 +69,15 @@ var calib = cluster.NodeSpec{
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all, 9, 10, 11, deg, tail, net")
+	fig := flag.String("fig", "all", "figure to regenerate: all, 9, 10, 11, deg, tail, net, recovery")
 	scale := flag.Int("scale", 32, "scale-down factor for data sizes and bandwidths")
 	netMB := flag.Int("netmb", 8, "file size in MiB for the -fig net TCP read/write A/B")
 	netReps := flag.Int("netreps", 3, "benchmark repetitions per -fig net case (fastest wins)")
-	jsonOut := flag.Bool("json", false, "with -fig net, also write measurements to "+netJSONPath)
+	recMB := flag.Int("recmb", 8, "file size in MiB for the -fig recovery TCP A/B")
+	recReps := flag.Int("recreps", 3, "benchmark repetitions per -fig recovery case (fastest wins)")
+	recDelay := flag.Duration("recdelay", 500*time.Microsecond,
+		"emulated network latency per server response write in the -fig recovery A/B (tc-netem stand-in; applied to both variants)")
+	jsonOut := flag.Bool("json", false, "with -fig net/recovery, also write measurements to "+netJSONPath)
 	flag.Parse()
 	if *scale < 1 {
 		obs.SetDefaultLogger(false).Error("scale must be >= 1")
@@ -101,6 +110,11 @@ func main() {
 	}
 	if *fig == "net" {
 		if err := figNet(*netMB, *netReps, *jsonOut); err != nil {
+			fail(err)
+		}
+	}
+	if *fig == "recovery" {
+		if err := figRecovery(*recMB, *recReps, *recDelay, *jsonOut); err != nil {
 			fail(err)
 		}
 	}

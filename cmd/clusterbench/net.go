@@ -3,10 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 
 	"carousel/internal/bench"
@@ -195,30 +193,23 @@ func figNet(mib, reps int, jsonOut bool) error {
 	return nil
 }
 
+// netSection is the read/write A/B's slot in the sectioned benchDoc.
+type netSection struct {
+	FileMiB int        `json:"file_mib"`
+	Stripes int        `json:"stripes"`
+	Reps    int        `json:"reps"`
+	Code    string     `json:"code"`
+	Results []netEntry `json:"results"`
+}
+
 func writeNetJSON(mib, stripes, reps int, results []netEntry) error {
-	doc := struct {
-		GoMaxProcs int        `json:"gomaxprocs"`
-		FileMiB    int        `json:"file_mib"`
-		Stripes    int        `json:"stripes"`
-		Reps       int        `json:"reps"`
-		Code       string     `json:"code"`
-		Results    []netEntry `json:"results"`
-	}{
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		FileMiB:    mib,
-		Stripes:    stripes,
-		Reps:       reps,
-		Code:       "Carousel(12,6,10,10)",
-		Results:    results,
-	}
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(netJSONPath, out, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n\n", netJSONPath)
-	return nil
+	return updateBenchJSON(func(doc *benchDoc) {
+		doc.Net = &netSection{
+			FileMiB: mib,
+			Stripes: stripes,
+			Reps:    reps,
+			Code:    "Carousel(12,6,10,10)",
+			Results: results,
+		}
+	})
 }

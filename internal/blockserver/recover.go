@@ -1,0 +1,342 @@
+package blockserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"carousel/internal/obs"
+)
+
+// Recovery engine metrics. A recovery pass decomposes into the repair
+// stage histograms (store_repair_fetch/decode/writeback_ns) plus the
+// pass-level families here; per-helper chunk counts live in
+// store_repair_helper_chunks_total{peer} so a scrape proves balance.
+var (
+	mRecoverPasses   = obs.Default().Counter("store_recover_passes_total")
+	mRecoverBlocks   = obs.Default().Counter("store_recover_blocks_total")
+	mRecoverBytes    = obs.Default().Counter("store_recover_bytes_total")
+	mRecoverTraffic  = obs.Default().Counter("store_recover_traffic_bytes_total")
+	mRecoverInflight = obs.Default().Gauge("store_recover_inflight")
+	mRecoverPassNS   = obs.Default().Histogram("store_recover_pass_ns")
+	mThrottleWaitNS  = obs.Default().Counter("store_recover_throttle_wait_ns_total")
+)
+
+// DefaultRecoveryConcurrency is how many stripe repairs RecoverServer
+// keeps in flight when WithRecoveryConcurrency is not given: enough to
+// overlap one stripe's chunk fetches with its neighbors' decode and
+// writeback without flooding the survivor set.
+const DefaultRecoveryConcurrency = 4
+
+// recoveryConfig collects the engine knobs.
+type recoveryConfig struct {
+	concurrency int
+	bandwidth   int64 // bytes/sec; 0 = unthrottled
+	static      bool  // first-d helpers every stripe (the A/B baseline)
+}
+
+// RecoveryOption configures a RecoverServer pass.
+type RecoveryOption func(*recoveryConfig)
+
+// WithRecoveryConcurrency bounds how many stripe repairs are in flight at
+// once (default DefaultRecoveryConcurrency; 1 restores the sequential
+// repair loop).
+func WithRecoveryConcurrency(n int) RecoveryOption {
+	return func(c *recoveryConfig) {
+		if n > 0 {
+			c.concurrency = n
+		}
+	}
+}
+
+// WithRecoveryBandwidth caps recovery traffic (helper chunk fetches plus
+// newcomer writebacks) at roughly bytesPerSec via a token bucket, so a
+// background recovery pass can coexist with foreground reads instead of
+// saturating the wire. Zero or negative removes the cap.
+func WithRecoveryBandwidth(bytesPerSec int64) RecoveryOption {
+	return func(c *recoveryConfig) {
+		if bytesPerSec > 0 {
+			c.bandwidth = bytesPerSec
+		}
+	}
+}
+
+// WithRecoveryStaticHelpers disables stripe-rotated helper selection:
+// every stripe contacts survivors in ascending order, so the first d
+// survivors serve every repair — the pre-engine behavior the recovery
+// A/B benchmarks against.
+func WithRecoveryStaticHelpers() RecoveryOption {
+	return func(c *recoveryConfig) { c.static = true }
+}
+
+// FileSpec names one striped file RecoverServer walks: the byte size
+// determines the stripe count, exactly as ReadFile's size argument does.
+type FileSpec struct {
+	Name string
+	Size int
+}
+
+// RecoveryReport summarizes a RecoverServer pass.
+type RecoveryReport struct {
+	// BlocksRepaired counts blocks regenerated onto the recovering server.
+	BlocksRepaired int
+	// BytesRecovered is the regenerated block bytes written back — the
+	// numerator of recovery MB/s.
+	BytesRecovered int64
+	// TrafficBytes counts helper chunk bytes fetched across the network
+	// (the Fig. 7 quantity, summed over every repaired block).
+	TrafficBytes int64
+	// HelperChunks maps helper address to how many winning chunks it
+	// served — the balance evidence: with rotation every one of the n-1
+	// survivors appears, and no helper carries more than ~1/d of a ring
+	// lap beyond the mean.
+	HelperChunks map[string]int64
+}
+
+// RecoverServer regenerates every block the failed server held across all
+// stripes of the given files — node-scale recovery on the real TCP path.
+// Block i of every stripe lives on server i, so each stripe of each file
+// contributes exactly one lost block. Repairs run through a depth-bounded
+// pipeline (WithRecoveryConcurrency): one stripe's helper chunk fetches
+// overlap its neighbors' RepairBlock decode and newcomer writeback, all
+// over the store's shared connection pool and buffer pool. Helper
+// selection rotates with the stripe index so repair load spreads over all
+// n-1 survivors, and WithRecoveryBandwidth paces the pass.
+//
+// The failed server's address must be accepting writes again (restarted
+// empty, or a replacement at the same address): regenerated blocks are
+// written back to their home. The first repair failure cancels the
+// launch of later stripes; the report covers the work done either way.
+func (s *Store) RecoverServer(ctx context.Context, failed int, files []FileSpec, opts ...RecoveryOption) (*RecoveryReport, error) {
+	n := s.code.N()
+	d := s.code.D()
+	if failed < 0 || failed >= n {
+		return nil, fmt.Errorf("blockserver: failed server %d out of range [0,%d)", failed, n)
+	}
+	cfg := recoveryConfig{concurrency: DefaultRecoveryConcurrency}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	t0 := time.Now()
+	ctx, sp := obs.StartSpan(ctx, "store.recover")
+	sp.SetAttr("failed", failed).SetAttr("server", s.addrs[failed]).
+		SetAttr("files", len(files)).SetAttr("concurrency", cfg.concurrency)
+	defer func() {
+		sp.End()
+		mRecoverPasses.Inc()
+		mRecoverPassNS.ObserveSince(t0)
+	}()
+
+	// Enumerate: every stripe of every file lost exactly one block to the
+	// failed server.
+	stripeData := s.code.K() * s.blockSize
+	var jobs []repairJob
+	for _, f := range files {
+		if f.Size <= 0 {
+			return nil, fmt.Errorf("blockserver: recover %s: non-positive size %d", f.Name, f.Size)
+		}
+		stripes := (f.Size + stripeData - 1) / stripeData
+		for st := 0; st < stripes; st++ {
+			jobs = append(jobs, repairJob{file: f.Name, ref: BlockRef{Stripe: st, Block: failed}})
+		}
+	}
+	report := &RecoveryReport{HelperChunks: make(map[string]int64)}
+	if len(jobs) == 0 {
+		return report, nil
+	}
+	sp.SetAttr("blocks", len(jobs))
+
+	// Warm the repair plans for every helper rotation this pass will use,
+	// so plan compilation happens once up front instead of stalling the
+	// pipeline on its first lap around the survivor ring.
+	_, wsp := obs.StartSpan(ctx, "warm")
+	rots := len(jobs)
+	if rots > n-1 {
+		rots = n - 1
+	}
+	if cfg.static {
+		rots = 1
+	}
+	for r := 0; r < rots; r++ {
+		if err := s.code.WarmRepair(failed, rotatedSurvivors(n, failed, r)[:d]); err != nil {
+			wsp.End()
+			return report, fmt.Errorf("blockserver: recover plan warm: %w", err)
+		}
+	}
+	wsp.End()
+
+	var tb *tokenBucket
+	if cfg.bandwidth > 0 {
+		// One repair's worth of burst keeps a single stripe from
+		// deadlocking against a cap smaller than its own traffic.
+		tb = newTokenBucket(cfg.bandwidth, d*s.code.HelperChunkSize(s.blockSize)+s.blockSize)
+	}
+	var mu sync.Mutex
+	onHelper := func(idx int) {
+		mu.Lock()
+		report.HelperChunks[s.addrs[idx]]++
+		mu.Unlock()
+	}
+	outcomes := s.repairMany(ctx, jobs, cfg.concurrency, func(j repairJob) repairOpts {
+		rot := j.ref.Stripe
+		if cfg.static {
+			rot = 0
+		}
+		return repairOpts{rot: rot, throttle: tb, onHelper: onHelper}
+	})
+	for _, o := range outcomes {
+		report.TrafficBytes += int64(o.traffic)
+		if o.err == nil {
+			report.BlocksRepaired++
+			report.BytesRecovered += int64(s.blockSize)
+		}
+	}
+	mRecoverBlocks.Add(int64(report.BlocksRepaired))
+	mRecoverBytes.Add(report.BytesRecovered)
+	mRecoverTraffic.Add(report.TrafficBytes)
+	sp.SetAttr("blocks_repaired", report.BlocksRepaired).SetAttr("traffic_bytes", report.TrafficBytes)
+	if j, err := firstRepairError(jobs, outcomes); err != nil {
+		sp.SetAttr("error", err.Error())
+		return report, fmt.Errorf("blockserver: recover %s stripe %d: %w", j.file, j.ref.Stripe, err)
+	}
+	return report, nil
+}
+
+// repairJob names one block repair of a recovery or scrub pass.
+type repairJob struct {
+	file string
+	ref  BlockRef
+}
+
+// repairOutcome is one job's result slot.
+type repairOutcome struct {
+	traffic int
+	err     error
+}
+
+// repairMany runs block repairs through a depth-bounded pipeline: up to
+// conc repairs are in flight, so one stripe's chunk fetches overlap its
+// neighbors' decode and writeback. The first failure cancels the launch
+// of later jobs (in-flight repairs drain); outcomes align with jobs, and
+// jobs never launched report the cancellation.
+func (s *Store) repairMany(ctx context.Context, jobs []repairJob, conc int, opt func(repairJob) repairOpts) []repairOutcome {
+	if conc < 1 {
+		conc = 1
+	}
+	out := make([]repairOutcome, len(jobs))
+	rctx, rcancel := context.WithCancel(ctx)
+	defer rcancel()
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	launched := 0
+	for i := 0; i < len(jobs) && rctx.Err() == nil; i++ {
+		select {
+		case sem <- struct{}{}:
+		case <-rctx.Done():
+		}
+		if rctx.Err() != nil {
+			break
+		}
+		launched++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			mRecoverInflight.Add(1)
+			defer mRecoverInflight.Add(-1)
+			j := jobs[i]
+			traffic, err := s.repair(rctx, j.file, j.ref.Stripe, j.ref.Block, opt(j))
+			out[i] = repairOutcome{traffic: traffic, err: err}
+			if err != nil {
+				rcancel() // later repairs are pointless once one failed
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := launched; i < len(jobs); i++ {
+		err := classify(ctx.Err())
+		if err == nil {
+			err = context.Canceled
+		}
+		out[i] = repairOutcome{err: err}
+	}
+	return out
+}
+
+// firstRepairError picks the root-cause failure of a repairMany pass: the
+// first outcome, in job order, that is not a knock-on cancellation —
+// falling back to the first error of any kind.
+func firstRepairError(jobs []repairJob, outcomes []repairOutcome) (repairJob, error) {
+	var firstJob repairJob
+	var firstErr error
+	for i, o := range outcomes {
+		if o.err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstJob, firstErr = jobs[i], o.err
+		}
+		if !errors.Is(o.err, context.Canceled) {
+			return jobs[i], o.err
+		}
+	}
+	return firstJob, firstErr
+}
+
+// tokenBucket paces recovery traffic to a bytes/sec budget. Charges are
+// taken up front and the balance may go negative — the caller then sleeps
+// the deficit off — which keeps the long-run rate at the target without a
+// feedback loop, while burst bounds how far a quiet period can bank.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	burst  float64 // max banked bytes
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns a bucket paced at bytesPerSec that can bank at
+// most burst bytes (raised to bytesPerSec/4 if smaller, so tiny bursts
+// don't quantize the pacing).
+func newTokenBucket(bytesPerSec int64, burst int) *tokenBucket {
+	b := float64(burst)
+	if min := float64(bytesPerSec) / 4; b < min {
+		b = min
+	}
+	return &tokenBucket{rate: float64(bytesPerSec), burst: b, tokens: b, last: time.Now()}
+}
+
+// Wait charges n bytes against the budget, sleeping off any deficit. A
+// nil bucket never waits, so unthrottled paths pay one pointer test.
+func (tb *tokenBucket) Wait(ctx context.Context, n int) error {
+	if tb == nil || n <= 0 {
+		return nil
+	}
+	tb.mu.Lock()
+	now := time.Now()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.tokens -= float64(n)
+	var wait time.Duration
+	if tb.tokens < 0 {
+		wait = time.Duration(-tb.tokens / tb.rate * float64(time.Second))
+	}
+	tb.mu.Unlock()
+	if wait <= 0 {
+		return nil
+	}
+	mThrottleWaitNS.Add(int64(wait))
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return classify(ctx.Err())
+	}
+}

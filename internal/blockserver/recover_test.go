@@ -1,0 +1,385 @@
+package blockserver
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"carousel/internal/carousel"
+	"carousel/internal/faultnet"
+)
+
+func TestRotatedSurvivors(t *testing.T) {
+	// rot 0 is ascending order — the pre-rotation static choice.
+	got := rotatedSurvivors(6, 2, 0)
+	want := []int{0, 1, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rot 0 = %v, want %v", got, want)
+		}
+	}
+	// Rotation r starts the ring at survivor r and wraps.
+	got = rotatedSurvivors(6, 2, 2)
+	want = []int{3, 4, 5, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rot 2 = %v, want %v", got, want)
+		}
+	}
+	// Every rotation is a permutation of the survivor set, never
+	// contains the failed index, and rotations a ring-length apart agree.
+	for rot := 0; rot < 13; rot++ {
+		ring := rotatedSurvivors(6, 2, rot)
+		seen := make(map[int]bool)
+		for _, i := range ring {
+			if i == 2 {
+				t.Fatalf("rot %d contains failed index: %v", rot, ring)
+			}
+			if seen[i] {
+				t.Fatalf("rot %d has duplicate: %v", rot, ring)
+			}
+			seen[i] = true
+		}
+		if len(ring) != 5 {
+			t.Fatalf("rot %d has %d survivors, want 5", rot, len(ring))
+		}
+		wrap := rotatedSurvivors(6, 2, rot+5)
+		for i := range ring {
+			if ring[i] != wrap[i] {
+				t.Fatalf("rot %d and rot %d disagree: %v vs %v", rot, rot+5, ring, wrap)
+			}
+		}
+	}
+}
+
+// deleteServerBlocks removes every block of the file that the failed
+// server held, simulating the data loss RecoverServer undoes.
+func deleteServerBlocks(t *testing.T, addr, name string, stripes, failed int) {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for st := 0; st < stripes; st++ {
+		if err := c.Delete(ctx, blockName(name, st, failed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRecoverServerParallelByteIdentical is the engine's core contract: a
+// failed server's blocks across every stripe are regenerated in parallel,
+// the rebuilt file is byte-identical, and rotation spreads winning chunks
+// over all n-1 survivors with no helper serving more than 2x the mean.
+func TestRecoverServerParallelByteIdentical(t *testing.T) {
+	code := mustCode(t) // Carousel(12,6,10,12): ring of 11 survivors
+	blockSize := code.BlockAlign() * 8
+	stripes := 22 // two full laps of the survivor ring
+	size := stripes * code.K() * blockSize
+	data := make([]byte, size)
+	rand.New(rand.NewSource(51)).Read(data)
+
+	_, addrs := startServers(t, code, code.N())
+	store, err := NewStore(code, addrs, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ctx := context.Background()
+	if _, err := store.WriteFile(ctx, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	const failed = 3
+	deleteServerBlocks(t, addrs[failed], "f", stripes, failed)
+
+	base := runtime.NumGoroutine()
+	rep, err := store.RecoverServer(ctx, failed, []FileSpec{{Name: "f", Size: size}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksRepaired != stripes {
+		t.Fatalf("repaired %d blocks, want %d", rep.BlocksRepaired, stripes)
+	}
+	if want := int64(stripes * blockSize); rep.BytesRecovered != want {
+		t.Fatalf("recovered %d bytes, want %d", rep.BytesRecovered, want)
+	}
+	chunkSize := code.HelperChunkSize(blockSize)
+	if want := int64(stripes * code.D() * chunkSize); rep.TrafficBytes != want {
+		t.Fatalf("traffic %d bytes, want %d", rep.TrafficBytes, want)
+	}
+
+	// Rotation evidence: all n-1 survivors served chunks, and none more
+	// than twice the mean.
+	if len(rep.HelperChunks) != code.N()-1 {
+		t.Fatalf("chunks came from %d helpers, want all %d survivors: %v",
+			len(rep.HelperChunks), code.N()-1, rep.HelperChunks)
+	}
+	var sum, max int64
+	for _, c := range rep.HelperChunks {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(sum) / float64(len(rep.HelperChunks))
+	if float64(max) > 2*mean {
+		t.Fatalf("hottest helper served %d chunks, over 2x the mean %.1f: %v", max, mean, rep.HelperChunks)
+	}
+
+	// Every regenerated block must verify clean and the file read exact.
+	scr, err := store.Scrub(ctx, "f", size, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scr.Corrupt)+len(scr.Missing)+len(scr.Unreachable) != 0 {
+		t.Fatalf("scrub after recovery: %+v", *scr)
+	}
+	got, _, err := store.ReadFile(ctx, "f", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after recovery")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestRecoverServerStaticHelpers pins the A/B baseline: with rotation
+// disabled every stripe contacts the same first-d survivors, so exactly d
+// helpers appear in the per-helper counts.
+func TestRecoverServerStaticHelpers(t *testing.T) {
+	code := mustCode(t)
+	blockSize := code.BlockAlign() * 4
+	stripes := 8
+	size := stripes * code.K() * blockSize
+	data := make([]byte, size)
+	rand.New(rand.NewSource(52)).Read(data)
+
+	_, addrs := startServers(t, code, code.N())
+	store, err := NewStore(code, addrs, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ctx := context.Background()
+	if _, err := store.WriteFile(ctx, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	const failed = 0
+	deleteServerBlocks(t, addrs[failed], "f", stripes, failed)
+
+	rep, err := store.RecoverServer(ctx, failed, []FileSpec{{Name: "f", Size: size}},
+		WithRecoveryConcurrency(1), WithRecoveryStaticHelpers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksRepaired != stripes {
+		t.Fatalf("repaired %d blocks, want %d", rep.BlocksRepaired, stripes)
+	}
+	if len(rep.HelperChunks) != code.D() {
+		t.Fatalf("static helpers used %d peers, want exactly d=%d: %v",
+			len(rep.HelperChunks), code.D(), rep.HelperChunks)
+	}
+	got, _, err := store.ReadFile(ctx, "f", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after static recovery")
+	}
+}
+
+// TestRecoverServerWithBlackholedHelper runs the engine against a cluster
+// where one survivor swallows traffic: hedged chunk fetches must promote
+// spare helpers and the pass still completes byte-identical.
+func TestRecoverServerWithBlackholedHelper(t *testing.T) {
+	code, err := carousel.New(14, 10, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockSize := code.BlockAlign() * 8
+	stripes := 6
+	size := stripes * code.K() * blockSize
+	data := make([]byte, size)
+	rand.New(rand.NewSource(53)).Read(data)
+
+	_, addrs, injectors := startFaultServers(t, code, code.N())
+	store, err := NewStore(code, addrs, blockSize,
+		WithClientOptions(fastOpts()), WithHedgeDelay(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ctx := context.Background()
+	if _, err := store.WriteFile(ctx, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	const failed, dark = 2, 7
+	deleteServerBlocks(t, addrs[failed], "f", stripes, failed)
+	injectors[dark].SetDefault(faultnet.Policy{Blackhole: true})
+
+	rep, err := store.RecoverServer(ctx, failed, []FileSpec{{Name: "f", Size: size}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksRepaired != stripes {
+		t.Fatalf("repaired %d blocks, want %d", rep.BlocksRepaired, stripes)
+	}
+	if n := rep.HelperChunks[addrs[dark]]; n != 0 {
+		t.Fatalf("blackholed helper served %d chunks, want 0", n)
+	}
+	injectors[dark].SetDefault(faultnet.Policy{})
+	got, _, err := store.ReadFile(ctx, "f", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after recovery with blackholed helper")
+	}
+}
+
+// TestRecoveryThrottle checks WithRecoveryBandwidth actually paces the
+// pass: the charged bytes over the measured wall time must not exceed the
+// configured rate by more than the bucket's burst credit allows, and the
+// pass must take at least the deficit the bucket owes.
+func TestRecoveryThrottle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive throttle measurement")
+	}
+	code := mustCode(t)
+	blockSize := code.BlockAlign() * 8
+	stripes := 8
+	size := stripes * code.K() * blockSize
+	data := make([]byte, size)
+	rand.New(rand.NewSource(54)).Read(data)
+
+	_, addrs := startServers(t, code, code.N())
+	store, err := NewStore(code, addrs, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ctx := context.Background()
+	if _, err := store.WriteFile(ctx, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	const failed = 5
+	files := []FileSpec{{Name: "f", Size: size}}
+
+	// Charged bytes per pass: d helper chunks plus one writeback per stripe.
+	chunkSize := code.HelperChunkSize(blockSize)
+	charged := float64(stripes * (code.D()*chunkSize + blockSize))
+	rate := charged // 1 second of traffic at the cap
+	burst := float64(code.D()*chunkSize + blockSize)
+	if min := rate / 4; burst < min {
+		burst = min
+	}
+	// A full bucket pays for burst bytes up front; the rest is slept off.
+	ideal := (charged - burst) / rate
+
+	t0 := time.Now()
+	rep, err := store.RecoverServer(ctx, failed, files, WithRecoveryBandwidth(int64(rate)))
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlocksRepaired != stripes {
+		t.Fatalf("repaired %d blocks, want %d", rep.BlocksRepaired, stripes)
+	}
+	if min := time.Duration(0.6 * ideal * float64(time.Second)); elapsed < min {
+		t.Fatalf("throttled pass took %v, want >= %v (rate %d B/s, %d B charged)",
+			elapsed, min, int64(rate), int64(charged))
+	}
+	if measured := charged / elapsed.Seconds(); measured > 2*rate {
+		t.Fatalf("measured %0.f B/s, more than 2x the %0.f B/s cap", measured, rate)
+	}
+	if max := time.Duration(10 * ideal * float64(time.Second)); elapsed > max {
+		t.Fatalf("throttled pass took %v, way over the %v budget — throttle oversleeping", elapsed, max)
+	}
+}
+
+// TestScrubParallelRepairs drives several corrupt and missing blocks
+// across different stripes through Scrub's pipelined verify and the
+// engine-backed repair scheduler in one pass.
+func TestScrubParallelRepairs(t *testing.T) {
+	code := mustCode(t)
+	blockSize := code.BlockAlign() * 8
+	stripes := 6
+	size := stripes * code.K() * blockSize
+	data := make([]byte, size)
+	rand.New(rand.NewSource(55)).Read(data)
+
+	servers, addrs := startServers(t, code, code.N())
+	store, err := NewStore(code, addrs, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ctx := context.Background()
+	if _, err := store.WriteFile(ctx, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := []BlockRef{{Stripe: 0, Block: 2}, {Stripe: 2, Block: 7}, {Stripe: 5, Block: 11}}
+	for _, ref := range corrupt {
+		if err := servers[ref.Block].CorruptBlock(blockName("f", ref.Stripe, ref.Block), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missing := BlockRef{Stripe: 3, Block: 9}
+	{
+		c, err := Dial(addrs[missing.Block])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Delete(ctx, blockName("f", missing.Stripe, missing.Block)); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+
+	rep, err := store.Scrub(ctx, "f", size, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != len(corrupt) {
+		t.Fatalf("scrub found %d corrupt blocks %v, want %v", len(rep.Corrupt), rep.Corrupt, corrupt)
+	}
+	for i, ref := range corrupt {
+		if rep.Corrupt[i] != ref {
+			t.Fatalf("corrupt[%d] = %+v, want %+v", i, rep.Corrupt[i], ref)
+		}
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != missing {
+		t.Fatalf("missing = %v, want [%+v]", rep.Missing, missing)
+	}
+	if want := len(corrupt) + 1; len(rep.Repaired) != want {
+		t.Fatalf("repaired %d blocks %v, want %d", len(rep.Repaired), rep.Repaired, want)
+	}
+	if rep.TrafficBytes == 0 {
+		t.Fatal("repairs reported no traffic")
+	}
+
+	// A second scrub must find nothing wrong, and the file reads exact.
+	clean, err := store.Scrub(ctx, "f", size, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Corrupt)+len(clean.Missing)+len(clean.Repaired) != 0 {
+		t.Fatalf("second scrub still dirty: %+v", *clean)
+	}
+	got, _, err := store.ReadFile(ctx, "f", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after scrub repairs")
+	}
+}

@@ -26,6 +26,12 @@ var (
 	mRepairTraffic   = obs.Default().Counter("store_repair_traffic_bytes_total")
 	mSparePromotions = obs.Default().Counter("store_spare_promotions_total")
 	mRepairNS        = obs.Default().Histogram("store_repair_ns")
+	// Repair stage decomposition: how long one stripe repair spends
+	// fetching helper chunks, combining them, and writing the regenerated
+	// block back — the per-stage signal the recovery engine's A/B reads.
+	mRepairFetchNS     = obs.Default().Histogram("store_repair_fetch_ns")
+	mRepairDecodeNS    = obs.Default().Histogram("store_repair_decode_ns")
+	mRepairWritebackNS = obs.Default().Histogram("store_repair_writeback_ns")
 	// Pipeline gauges: the configured depth and how many stripes are
 	// actually in flight right now.
 	mPipelineDepth    = obs.Default().Gauge("store_pipeline_depth")
@@ -58,6 +64,11 @@ type Store struct {
 	depth     int   // stripes kept in flight by ReadFile/WriteFile
 	poolSize  int   // per-peer connection budget; <=0 disables pooling
 	pool      *Pool // shared by reads, writes, scrub, and repair
+
+	// helperChunks interns the per-peer repair-chunk counters once, so the
+	// per-helper accounting of a recovery pass is an array index instead of
+	// a label-joining registry lookup per chunk.
+	helperChunks []*obs.Counter
 }
 
 // StoreOption configures a Store.
@@ -121,6 +132,10 @@ func NewStore(code *carousel.Code, addrs []string, blockSize int, opts ...StoreO
 		per = -1 // pooling disabled: fresh client per checkout
 	}
 	s.pool = NewPool(addrs, PoolOptions{PerPeer: per, Client: s.client})
+	s.helperChunks = make([]*obs.Counter, len(addrs))
+	for i, a := range addrs {
+		s.helperChunks[i] = obs.Default().Counter("store_repair_helper_chunks_total", "peer", a)
+	}
 	mPipelineDepth.Set(int64(s.depth))
 	return s, nil
 }
@@ -585,8 +600,55 @@ func (s *Store) readStripeAnyKInto(ctx context.Context, name string, st int, dst
 // computed server-side, uploads it to its home server, and reports the
 // bytes that crossed the network. The first d responding helpers win;
 // failed or straggling helpers are replaced by spare candidates, so a dead
-// or slow server cannot stall the repair.
+// or slow server cannot stall the repair. Helpers are chosen by rotating
+// the survivor ring by the stripe index, so a multi-stripe repair pass
+// spreads chunk load over all n-1 survivors instead of hammering
+// survivors 0..d-1 for every stripe.
 func (s *Store) Repair(ctx context.Context, name string, st, failed int) (trafficBytes int, err error) {
+	return s.repair(ctx, name, st, failed, repairOpts{rot: st})
+}
+
+// repairOpts tunes one stripe repair inside a repair or recovery pass.
+type repairOpts struct {
+	// rot rotates the survivor ring before contacting the first d helpers.
+	// Repair passes the stripe index; the recovery engine's static-helper
+	// baseline passes 0 for every stripe.
+	rot int
+	// throttle, when set, paces repair bytes (helper chunks and the
+	// newcomer writeback) so recovery coexists with foreground reads.
+	throttle *tokenBucket
+	// onHelper observes each helper that contributed a winning chunk, by
+	// block index — the engine's per-helper balance accounting.
+	onHelper func(idx int)
+}
+
+// rotatedSurvivors lists the n-1 survivor block indexes starting at
+// rotation rot: rot 0 is ascending order (the static pre-rotation choice);
+// successive rotations shift which d survivors are contacted first, so
+// consecutive stripes walk the ring instead of reusing one prefix.
+func rotatedSurvivors(n, failed, rot int) []int {
+	ring := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != failed {
+			ring = append(ring, i)
+		}
+	}
+	if len(ring) < 2 {
+		return ring
+	}
+	r := rot % len(ring)
+	if r < 0 {
+		r += len(ring)
+	}
+	out := make([]int, 0, len(ring))
+	out = append(out, ring[r:]...)
+	out = append(out, ring[:r]...)
+	return out
+}
+
+// repair is the single-stripe engine behind Repair, Scrub, and
+// RecoverServer.
+func (s *Store) repair(ctx context.Context, name string, st, failed int, ro repairOpts) (trafficBytes int, err error) {
 	t0 := time.Now()
 	ctx, sp := obs.StartSpan(ctx, "store.repair")
 	sp.SetAttr("file", name).SetAttr("stripe", st).SetAttr("failed", failed)
@@ -602,14 +664,10 @@ func (s *Store) Repair(ctx context.Context, name string, st, failed int) (traffi
 	}()
 	n := s.code.N()
 	d := s.code.D()
+	chunkSize := s.code.HelperChunkSize(s.blockSize)
 	_, lsp := obs.StartSpan(ctx, "locate")
-	candidates := make([]int, 0, n-1)
-	for i := 0; i < n; i++ {
-		if i != failed {
-			candidates = append(candidates, i)
-		}
-	}
-	lsp.SetAttr("helpers", d).SetAttr("candidates", len(candidates))
+	candidates := rotatedSurvivors(n, failed, ro.rot)
+	lsp.SetAttr("helpers", d).SetAttr("candidates", len(candidates)).SetAttr("rotation", ro.rot)
 	lsp.End()
 	fetchCtx, fsp := obs.StartSpan(ctx, "fetch")
 	fsp.SetAttr("mode", "chunks")
@@ -617,10 +675,18 @@ func (s *Store) Repair(ctx context.Context, name string, st, failed int) (traffi
 	defer fcancel()
 	results := make(chan sourceResult, len(candidates))
 	var wg sync.WaitGroup
+	started := 0
 	start := func(i int) {
+		started++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// The throttle runs before the hedge clock starts, so a paced
+			// recovery does not misread its own waiting as a straggler.
+			if terr := ro.throttle.Wait(fctx, chunkSize); terr != nil {
+				results <- sourceResult{idx: i, err: terr}
+				return
+			}
 			cctx := fctx
 			if s.hedge > 0 {
 				var cancel context.CancelFunc
@@ -645,11 +711,13 @@ func (s *Store) Repair(ctx context.Context, name string, st, failed int) (traffi
 		start(candidates[next])
 		next++
 	}
+	received := 0
 	pending := d
 	var helpers []int
 	var chunks [][]byte
 	for pending > 0 && len(helpers) < d {
 		r := <-results
+		received++
 		pending--
 		if r.err != nil {
 			if next < len(candidates) {
@@ -664,41 +732,51 @@ func (s *Store) Repair(ctx context.Context, name string, st, failed int) (traffi
 		helpers = append(helpers, r.idx)
 		chunks = append(chunks, r.data)
 		trafficBytes += len(r.data)
+		s.helperChunks[r.idx].Inc()
+		if ro.onHelper != nil {
+			ro.onHelper(r.idx)
+		}
 	}
 	fcancel()
 	wg.Wait()
-	// Drain chunks from helpers that answered after the decision so their
-	// pooled buffers are reusable instead of garbage.
-	for {
-		select {
-		case r := <-results:
-			Recycle(r.data)
-			continue
-		default:
-		}
-		break
+	// Drain the exact number of outstanding results so no pooled chunk
+	// buffer leaks: every started fetch sends exactly once, so after
+	// wg.Wait the remaining started-received results are due — a counted
+	// blocking drain cannot race a late send the way a non-blocking
+	// select could.
+	for ; received < started; received++ {
+		r := <-results
+		Recycle(r.data)
 	}
 	fsp.SetAttr("helpers_responded", len(helpers))
 	fsp.End()
+	mRepairFetchNS.Observe(time.Since(t0).Nanoseconds())
 	if len(helpers) < d {
 		for _, c := range chunks {
 			Recycle(c)
 		}
 		return trafficBytes, fmt.Errorf("%w: only %d of %d helpers responded", ErrTooFewSurvivors, len(helpers), d)
 	}
+	t1 := time.Now()
 	_, dsp := obs.StartSpan(ctx, "decode")
 	block, err := s.code.RepairBlock(failed, helpers, chunks)
 	dsp.SetAttr("block_bytes", len(block))
 	dsp.End()
+	mRepairDecodeNS.ObserveSince(t1)
 	for _, c := range chunks {
 		Recycle(c)
 	}
 	if err != nil {
 		return trafficBytes, err
 	}
+	if err = ro.throttle.Wait(ctx, len(block)); err != nil {
+		return trafficBytes, err
+	}
+	t2 := time.Now()
 	_, psp := obs.StartSpan(ctx, "writeback")
 	err = s.put(ctx, s.addrs[failed], blockName(name, st, failed), block)
 	psp.End()
+	mRepairWritebackNS.ObserveSince(t2)
 	if err != nil {
 		return trafficBytes, err
 	}
@@ -733,37 +811,62 @@ type ScrubReport struct {
 // (no block content crosses the network) and, when repair is true,
 // regenerates each corrupt or missing block from d helper chunks — the
 // route by which read-time corruption detection feeds back into
-// redundancy restoration.
+// redundancy restoration. Verify probes are pipelined across stripes (up
+// to the store's pipeline depth of stripes probe concurrently, where each
+// stripe used to be a full barrier), and the repairs run through the
+// recovery engine's bounded scheduler instead of an inline sequential
+// loop.
 func (s *Store) Scrub(ctx context.Context, name string, size int, repair bool) (*ScrubReport, error) {
 	stripeData := s.code.K() * s.blockSize
 	stripes := (size + stripeData - 1) / stripeData
 	n := s.code.N()
+	ctx, sp := obs.StartSpan(ctx, "store.scrub")
+	sp.SetAttr("file", name).SetAttr("stripes", stripes)
+	defer sp.End()
 	rep := &ScrubReport{}
+	// Verify phase: stripe st+1's probes overlap stripe st's. Verdicts land
+	// in a per-stripe slot, so the report below reads them in deterministic
+	// (stripe, block) order no matter how the probes interleaved.
+	verdicts := make([][]error, stripes)
+	sem := make(chan struct{}, s.depth)
+	var wg sync.WaitGroup
 	for st := 0; st < stripes; st++ {
-		verdicts := make([]error, n)
-		var wg sync.WaitGroup
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				// Probes ride the shared pool: one parked client per peer
-				// serves the whole scrub instead of a dial per probe.
-				verdicts[i] = s.pool.WithClient(ctx, s.addrs[i], func(c *Client) error {
-					return c.Verify(ctx, blockName(name, st, i))
-				})
-			}(i)
-		}
-		wg.Wait()
-		for i, v := range verdicts {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(st int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			v := make([]error, n)
+			var pw sync.WaitGroup
+			for i := 0; i < n; i++ {
+				pw.Add(1)
+				go func(i int) {
+					defer pw.Done()
+					// Probes ride the shared pool: one parked client per peer
+					// serves the whole scrub instead of a dial per probe.
+					v[i] = s.pool.WithClient(ctx, s.addrs[i], func(c *Client) error {
+						return c.Verify(ctx, blockName(name, st, i))
+					})
+				}(i)
+			}
+			pw.Wait()
+			verdicts[st] = v
+		}(st)
+	}
+	wg.Wait()
+	var broken []BlockRef
+	for st := 0; st < stripes; st++ {
+		for i, v := range verdicts[st] {
 			rep.BlocksChecked++
 			ref := BlockRef{Stripe: st, Block: i}
 			switch {
 			case v == nil:
-				continue
 			case errors.Is(v, ErrCorrupt):
 				rep.Corrupt = append(rep.Corrupt, ref)
+				broken = append(broken, ref)
 			case errors.Is(v, ErrNotFound):
 				rep.Missing = append(rep.Missing, ref)
+				broken = append(broken, ref)
 			default:
 				// The overall deadline expiring fails the scrub; one
 				// unreachable server does not — its blocks are recorded
@@ -773,17 +876,27 @@ func (s *Store) Scrub(ctx context.Context, name string, size int, repair bool) (
 					return rep, fmt.Errorf("blockserver: scrub verify stripe %d block %d: %w", st, i, v)
 				}
 				rep.Unreachable = append(rep.Unreachable, ref)
-				continue
-			}
-			if repair {
-				traffic, err := s.Repair(ctx, name, st, i)
-				rep.TrafficBytes += traffic
-				if err != nil {
-					return rep, fmt.Errorf("blockserver: scrub repair stripe %d block %d: %w", st, i, err)
-				}
-				rep.Repaired = append(rep.Repaired, ref)
 			}
 		}
+	}
+	if !repair || len(broken) == 0 {
+		return rep, nil
+	}
+	jobs := make([]repairJob, len(broken))
+	for i, ref := range broken {
+		jobs[i] = repairJob{file: name, ref: ref}
+	}
+	outcomes := s.repairMany(ctx, jobs, s.depth, func(j repairJob) repairOpts {
+		return repairOpts{rot: j.ref.Stripe}
+	})
+	for i, o := range outcomes {
+		rep.TrafficBytes += o.traffic
+		if o.err == nil {
+			rep.Repaired = append(rep.Repaired, broken[i])
+		}
+	}
+	if j, err := firstRepairError(jobs, outcomes); err != nil {
+		return rep, fmt.Errorf("blockserver: scrub repair stripe %d block %d: %w", j.ref.Stripe, j.ref.Block, err)
 	}
 	return rep, nil
 }

@@ -188,6 +188,22 @@ func (c *Code) Repair(failed int, helpers []int, blocks [][]byte) ([]byte, error
 	return c.RepairBlock(failed, helpers, chunks)
 }
 
+// WarmRepair precompiles and caches the repair plan for the given failed
+// block and helper set without touching any data, so a recovery pass can
+// pay plan compilation once up front instead of stalling its pipeline on
+// the first repair of each helper rotation.
+func (c *Code) WarmRepair(failed int, helpers []int) error {
+	if err := c.validateHelpers(failed, helpers); err != nil {
+		return err
+	}
+	if c.base == nil {
+		_, err := c.rebuildPlan(failed, helpers)
+		return err
+	}
+	_, err := c.base.RepairCombinerPlan(failed, helpers)
+	return err
+}
+
 func (c *Code) validateHelpers(failed int, helpers []int) error {
 	if failed < 0 || failed >= c.n {
 		return fmt.Errorf("%w: failed block %d out of range [0,%d)", ErrBadHelpers, failed, c.n)

@@ -1,0 +1,57 @@
+package carousel
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestWarmRepair checks plan prewarming on both repair paths: the MSR
+// combiner (d > k) and the RS rebuild (d == k). Warming must accept
+// exactly the helper sets Repair would, and a repair after warming must
+// still produce the exact block.
+func TestWarmRepair(t *testing.T) {
+	for _, cfg := range []struct{ n, k, d, p int }{
+		{12, 6, 10, 12}, // MSR base
+		{12, 6, 6, 12},  // RS base
+	} {
+		c := mustCode(t, cfg.n, cfg.k, cfg.d, cfg.p)
+		failed := 4
+		helpers := make([]int, 0, cfg.d)
+		for i := cfg.n - 1; i >= 0 && len(helpers) < cfg.d; i-- {
+			if i != failed {
+				helpers = append(helpers, i)
+			}
+		}
+		if err := c.WarmRepair(failed, helpers); err != nil {
+			t.Fatalf("(%d,%d,%d,%d) WarmRepair: %v", cfg.n, cfg.k, cfg.d, cfg.p, err)
+		}
+		// Warming twice hits the plan cache; still no error.
+		if err := c.WarmRepair(failed, helpers); err != nil {
+			t.Fatalf("(%d,%d,%d,%d) rewarm: %v", cfg.n, cfg.k, cfg.d, cfg.p, err)
+		}
+		// The warmed plan repairs correctly.
+		rng := rand.New(rand.NewSource(9))
+		size := c.UnitsPerBlock() * c.Alpha() * 2
+		data := randomShards(rng, cfg.k, size)
+		blocks, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Repair(failed, helpers, blocks)
+		if err != nil {
+			t.Fatalf("(%d,%d,%d,%d) repair after warm: %v", cfg.n, cfg.k, cfg.d, cfg.p, err)
+		}
+		if !bytes.Equal(got, blocks[failed]) {
+			t.Fatalf("(%d,%d,%d,%d) repair after warm: mismatch", cfg.n, cfg.k, cfg.d, cfg.p)
+		}
+		// Invalid helper sets are rejected exactly like Repair's.
+		if err := c.WarmRepair(cfg.n, helpers); !errors.Is(err, ErrBadHelpers) {
+			t.Fatalf("failed out of range: %v, want ErrBadHelpers", err)
+		}
+		if err := c.WarmRepair(failed, helpers[:cfg.d-1]); !errors.Is(err, ErrBadHelpers) {
+			t.Fatalf("short helper set: %v, want ErrBadHelpers", err)
+		}
+	}
+}

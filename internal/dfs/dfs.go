@@ -149,6 +149,9 @@ type FS struct {
 	next      int     // round-robin placement cursor
 	racks     [][]int // optional rack topology (node IDs per rack)
 	stats     Stats
+	// recoverConc bounds concurrent reconstructions in RecoverNode;
+	// 0 means DefaultRecoverConcurrency.
+	recoverConc int
 
 	// DecodeBW maps scheme names to the client-side decode throughput in
 	// bytes/second used to charge simulated time for degraded reads.

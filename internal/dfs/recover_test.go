@@ -288,3 +288,60 @@ func TestAccessorsAndDegradedCost(t *testing.T) {
 		t.Fatalf("rs name %q", got)
 	}
 }
+
+// TestRecoverNodeConcurrencySpeedsSimTime is the Fig. 11 model check: with
+// bounded sim concurrency, node recovery overlaps reconstructions across
+// stripes, so the simulated completion time drops well below the strictly
+// sequential walk while traffic totals stay identical.
+func TestRecoverNodeConcurrencySpeedsSimTime(t *testing.T) {
+	run := func(conc int) (*RepairResult, float64) {
+		code := mustCarousel(t, 12, 6, 10, 12)
+		blockSize := code.BlockAlign() * code.Alpha() * 4
+		// Fast helper reads, slow newcomer writes: repairs land on distinct
+		// newcomers, so the writeback stage is what cross-stripe
+		// parallelism can overlap (helper disks are shared by every
+		// variant and bound both the same way).
+		rig := newRig(t, 14, cluster.NodeSpec{DiskReadBW: 1000 * mbps, DiskWriteBW: 1 * mbps})
+		data := randBytes(7*6*blockSize, 45) // seven stripes
+		if _, err := rig.fs.Write("f", data, blockSize, Carousel{Code: code}); err != nil {
+			t.Fatal(err)
+		}
+		rig.fs.FailNode(0)
+		rig.fs.SetRecoverConcurrency(conc)
+		var res *RepairResult
+		var err error
+		var done float64
+		rig.sim.Go("recover", func(p *cluster.Proc) {
+			res, err = rig.fs.RecoverNode(p, 0)
+			done = p.Now()
+		})
+		rig.sim.Run()
+		if err != nil {
+			t.Fatalf("conc %d: %v", conc, err)
+		}
+		// Reads must be exact after either variant.
+		rig.sim.Go("read", func(p *cluster.Proc) {
+			out, rerr := rig.fs.Read(p, rig.client, "f", ReadParallel)
+			if rerr != nil {
+				t.Errorf("conc %d: read after recovery: %v", conc, rerr)
+				return
+			}
+			if !bytes.Equal(out.Data, data) {
+				t.Errorf("conc %d: data mismatch after recovery", conc)
+			}
+		})
+		rig.sim.Run()
+		return res, done
+	}
+	seqRes, seqTime := run(1)
+	parRes, parTime := run(4)
+	if seqRes.TrafficBytes != parRes.TrafficBytes {
+		t.Fatalf("traffic differs: sequential %d, parallel %d", seqRes.TrafficBytes, parRes.TrafficBytes)
+	}
+	if seqRes.Helpers != parRes.Helpers {
+		t.Fatalf("helper count differs: sequential %d, parallel %d", seqRes.Helpers, parRes.Helpers)
+	}
+	if parTime >= 0.75*seqTime {
+		t.Fatalf("parallel recovery took %.3fs of simulated time vs sequential %.3fs — expected < 0.75x", parTime, seqTime)
+	}
+}

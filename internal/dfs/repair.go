@@ -3,6 +3,7 @@ package dfs
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"carousel/internal/cluster"
 	"carousel/internal/obs"
@@ -153,33 +154,96 @@ func (fs *FS) Reconstruct(p *cluster.Proc, name string, stripeIdx, blockIdx int,
 	return res, nil
 }
 
+// DefaultRecoverConcurrency is how many block reconstructions a
+// RecoverNode pass keeps in flight (in simulated time) when
+// SetRecoverConcurrency has not been called.
+const DefaultRecoverConcurrency = 4
+
+// SetRecoverConcurrency bounds how many block reconstructions RecoverNode
+// runs concurrently. 1 restores the strictly sequential walk; values <= 0
+// are ignored.
+func (fs *FS) SetRecoverConcurrency(n int) {
+	if n > 0 {
+		fs.recoverConc = n
+	}
+}
+
 // RecoverNode regenerates every block that lost its last replica when the
 // given node failed, spreading the regenerated blocks across the surviving
 // datanodes (round-robin, skipping nodes already holding a block of the
-// same stripe). Call FailNode first; RecoverNode then walks all files. It
-// returns the aggregate result.
+// same stripe). Call FailNode first; RecoverNode then walks all files.
+// Reconstructions run through a bounded set of simulated processes
+// (SetRecoverConcurrency, default DefaultRecoverConcurrency) so simulated
+// recovery time reflects cross-stripe parallelism — the Fig. 11 model —
+// while newcomer assignment stays deterministic. It returns the aggregate
+// result.
 func (fs *FS) RecoverNode(p *cluster.Proc, failedID int) (*RepairResult, error) {
-	agg := &RepairResult{NewcomerID: -1}
+	type job struct {
+		name     string
+		stripe   int
+		block    int
+		newcomer *cluster.Node
+	}
+	// Enumerate lost blocks and assign newcomers up front, in the same
+	// cursor order the sequential walk used; the per-stripe assigned set
+	// keeps two lost blocks of one stripe off the same node even though no
+	// location update has landed yet.
+	var jobs []job
 	cursor := 0
 	for _, name := range fs.fileNames() {
 		f := fs.files[name]
 		for si, st := range f.stripes {
+			var assigned map[int]bool
 			for bi, b := range st.blocks {
 				if len(b.locations) > 0 {
 					continue
 				}
-				newcomer, err := fs.pickNewcomer(st, failedID, &cursor)
+				if assigned == nil {
+					assigned = make(map[int]bool)
+				}
+				newcomer, err := fs.pickNewcomer(st, failedID, &cursor, assigned)
 				if err != nil {
 					return nil, err
 				}
-				res, err := fs.Reconstruct(p, name, si, bi, newcomer)
-				if err != nil {
-					return nil, fmt.Errorf("dfs: recovering %s stripe %d block %d: %w", name, si, bi, err)
-				}
-				agg.TrafficBytes += res.TrafficBytes
-				agg.Helpers += res.Helpers
+				assigned[newcomer.ID] = true
+				jobs = append(jobs, job{name: name, stripe: si, block: bi, newcomer: newcomer})
 			}
 		}
+	}
+	agg := &RepairResult{NewcomerID: -1}
+	if len(jobs) == 0 {
+		return agg, nil
+	}
+	conc := fs.recoverConc
+	if conc <= 0 {
+		conc = DefaultRecoverConcurrency
+	}
+	// One simulated process per block, bounded by a slot pool. The sim is
+	// cooperative (one process runs at a time), so the processes can share
+	// FS state; only simulated time overlaps.
+	sim := fs.cluster.Sim()
+	slots := sim.NewSlotPool(conc)
+	wg := sim.NewWaitGroup()
+	results := make([]*RepairResult, len(jobs))
+	errs := make([]error, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		i, j := i, j
+		sim.Go("recover-block", func(sp *cluster.Proc) {
+			defer wg.Done()
+			slots.Acquire(sp)
+			defer slots.Release()
+			results[i], errs[i] = fs.Reconstruct(sp, j.name, j.stripe, j.block, j.newcomer)
+		})
+	}
+	wg.Wait(p)
+	for i, err := range errs {
+		if err != nil {
+			j := jobs[i]
+			return nil, fmt.Errorf("dfs: recovering %s stripe %d block %d: %w", j.name, j.stripe, j.block, err)
+		}
+		agg.TrafficBytes += results[i].TrafficBytes
+		agg.Helpers += results[i].Helpers
 	}
 	return agg, nil
 }
@@ -190,18 +254,13 @@ func (fs *FS) fileNames() []string {
 	for n := range fs.files {
 		names = append(names, n)
 	}
-	// Insertion-order independence: sort lexicographically.
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	return names
 }
 
 // pickNewcomer selects a surviving datanode not already hosting a block of
-// the stripe.
-func (fs *FS) pickNewcomer(st *stripe, failedID int, cursor *int) (*cluster.Node, error) {
+// the stripe and not in the caller's extra exclusion set.
+func (fs *FS) pickNewcomer(st *stripe, failedID int, cursor *int, exclude map[int]bool) (*cluster.Node, error) {
 	hosts := make(map[int]bool)
 	for _, b := range st.blocks {
 		for _, l := range b.locations {
@@ -211,7 +270,7 @@ func (fs *FS) pickNewcomer(st *stripe, failedID int, cursor *int) (*cluster.Node
 	for tries := 0; tries < len(fs.datanodes); tries++ {
 		n := fs.datanodes[*cursor%len(fs.datanodes)]
 		*cursor++
-		if n.ID != failedID && !hosts[n.ID] {
+		if n.ID != failedID && !hosts[n.ID] && !exclude[n.ID] {
 			return n, nil
 		}
 	}

@@ -8,7 +8,7 @@ RACE_PKGS = ./internal/codeplan ./internal/workpool ./internal/matrix ./internal
 # detector to shake out order-dependent leaks and redial races.
 FAULT_PKGS = ./internal/blockserver ./internal/dfs ./internal/faultnet
 
-.PHONY: check vet build test race faults bench bench-net bench-recovery obs
+.PHONY: check vet build test race race-tiers faults bench bench-net bench-recovery bench-sweep obs
 
 check: vet build test race
 
@@ -24,6 +24,13 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Re-run the kernel-heavy race packages with the GFNI tier disabled, so the
+# AVX2 and scalar rungs of the gf256 tier ladder get the same race coverage
+# the default (fastest) tier does.
+race-tiers:
+	GF256_DISABLE=gfni $(GO) test -race ./internal/gf256 ./internal/carousel ./internal/codeplan
+	GF256_DISABLE=all $(GO) test ./internal/gf256
+
 # Exercise the fault matrix: injected stragglers, partitions, corruption,
 # and crash-mid-read over real TCP, twice, race-enabled.
 faults:
@@ -32,6 +39,15 @@ faults:
 # Regenerate the coding microbenchmarks and the JSON snapshot.
 bench:
 	$(GO) run ./cmd/codingbench -json
+
+# The multi-core scaling sweep: re-run the coding microbenchmarks and both
+# live-TCP A/Bs at GOMAXPROCS 1, 2, 4, and 8, stamping each JSON result row
+# with its gomaxprocs axis. On a single-vCPU host the curve is flat — run
+# this on a multi-core box to see the engine scale.
+bench-sweep:
+	$(GO) run ./cmd/codingbench -json -maxprocs 1,2,4,8
+	$(GO) run ./cmd/clusterbench -fig net -json -maxprocs 1,2,4,8
+	$(GO) run ./cmd/clusterbench -fig recovery -json -maxprocs 1,2,4,8
 
 # The tentpole A/B: pipelined pooled ReadFile/WriteFile vs the sequential
 # dial-per-stripe baseline over a live loopback TCP cluster, with

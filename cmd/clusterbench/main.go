@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	clusterbench [-fig all|9|10|11|deg|tail|net|recovery] [-scale 32] [-netmb 8] [-netreps 3] [-recmb 8] [-recreps 3] [-json]
+//	clusterbench [-fig all|9|10|11|deg|tail|net|recovery] [-scale 32] [-netmb 8] [-netreps 3] [-recmb 8] [-recreps 3] [-maxprocs 1,2,4,8] [-json]
 //
 // -scale divides the data size and every bandwidth by the same factor, so
 // simulated durations equal the full-scale run while the real task logic
@@ -29,13 +29,21 @@
 // the sequential repair loop on a -recmb MiB file, reporting recovery MB/s
 // and the per-helper chunk spread. With -json the measurements are also
 // written to BENCH_clusterbench.json (each figure owns a section).
+//
+// -maxprocs sweeps the live-TCP figures across GOMAXPROCS values (e.g.
+// -maxprocs 1,2,4,8): each pass pins GOMAXPROCS, sizes the shared worker
+// pool to match, and contributes one result row per case tagged with a
+// per-row "gomaxprocs" axis in the JSON snapshot.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"carousel/internal/bench"
@@ -46,6 +54,7 @@ import (
 	"carousel/internal/obs"
 	"carousel/internal/reedsolomon"
 	"carousel/internal/workload"
+	"carousel/internal/workpool"
 )
 
 const (
@@ -77,10 +86,17 @@ func main() {
 	recReps := flag.Int("recreps", 3, "benchmark repetitions per -fig recovery case (fastest wins)")
 	recDelay := flag.Duration("recdelay", 500*time.Microsecond,
 		"emulated network latency per server response write in the -fig recovery A/B (tc-netem stand-in; applied to both variants)")
+	maxprocs := flag.String("maxprocs", "",
+		"comma-separated GOMAXPROCS values to sweep the -fig net/recovery A/Bs over (e.g. 1,2,4,8; default: current GOMAXPROCS only)")
 	jsonOut := flag.Bool("json", false, "with -fig net/recovery, also write measurements to "+netJSONPath)
 	flag.Parse()
 	if *scale < 1 {
 		obs.SetDefaultLogger(false).Error("scale must be >= 1")
+		os.Exit(1)
+	}
+	sweep, err := parseMaxprocs(*maxprocs)
+	if err != nil {
+		obs.SetDefaultLogger(false).Error("bad -maxprocs", "err", err)
 		os.Exit(1)
 	}
 	if *fig == "all" || *fig == "9" {
@@ -109,15 +125,40 @@ func main() {
 		}
 	}
 	if *fig == "net" {
-		if err := figNet(*netMB, *netReps, *jsonOut); err != nil {
+		if err := figNet(*netMB, *netReps, sweep, *jsonOut); err != nil {
 			fail(err)
 		}
 	}
 	if *fig == "recovery" {
-		if err := figRecovery(*recMB, *recReps, *recDelay, *jsonOut); err != nil {
+		if err := figRecovery(*recMB, *recReps, *recDelay, sweep, *jsonOut); err != nil {
 			fail(err)
 		}
 	}
+}
+
+// parseMaxprocs parses the -maxprocs sweep list; empty means "just the
+// current GOMAXPROCS" (no sweep).
+func parseMaxprocs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{runtime.GOMAXPROCS(0)}, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad GOMAXPROCS value %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// setMaxProcs pins the runtime's P count and grows the shared worker pool
+// to match, so both the stripe pipeline's decode fan-out and the codec's
+// intra-stripe parallelism see the swept width.
+func setMaxProcs(n int) {
+	runtime.GOMAXPROCS(n)
+	workpool.Ensure(n)
 }
 
 // figTail extends the evaluation with concurrent clients: 20 readers with

@@ -18,7 +18,10 @@ import (
 const netJSONPath = "BENCH_clusterbench.json"
 
 type netEntry struct {
-	Case        string  `json:"case"`
+	Case string `json:"case"`
+	// GoMaxProcs is the per-row sweep axis: the GOMAXPROCS value this row
+	// was measured under (see -maxprocs).
+	GoMaxProcs  int     `json:"gomaxprocs"`
 	MBps        float64 `json:"mb_per_s"`
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -38,8 +41,10 @@ type netEntry struct {
 // testing.Benchmark over the loopback cluster. Each case is benchmarked
 // reps times and the fastest rep is reported — scheduler noise only ever
 // slows a run down, so best-of-reps is the least-noise estimate of what
-// each engine can actually sustain.
-func figNet(mib, reps int, jsonOut bool) error {
+// each engine can actually sustain. The sweep slice runs the whole A/B
+// once per GOMAXPROCS value (pinning the runtime and the worker pool via
+// setMaxProcs), contributing one row per case per value.
+func figNet(mib, reps int, sweep []int, jsonOut bool) error {
 	if mib < 1 {
 		mib = 1
 	}
@@ -81,45 +86,70 @@ func figNet(mib, reps int, jsonOut bool) error {
 		addrs[i] = addr
 	}
 	data := workload.Text(size, 17)
-	ctx := context.Background()
 
-	variants := []struct {
-		name string
-		key  string
-		opts []blockserver.StoreOption
-	}{
+	variants := []netVariant{
 		{"sequential+dial-per-stripe", "baseline",
 			[]blockserver.StoreOption{blockserver.WithPipelineDepth(1), blockserver.WithPoolSize(0)}},
 		{"pipelined+pooled", "engine", nil},
 	}
+	results := make([]netEntry, 0, 2*len(variants)*len(sweep))
+	for _, mp := range sweep {
+		setMaxProcs(mp)
+		if len(sweep) > 1 {
+			bench.Section(os.Stdout, fmt.Sprintf("GOMAXPROCS = %d", mp))
+		}
+		rows, err := netPass(reps, mp, code, addrs, blockSize, size, data, variants)
+		if err != nil {
+			return err
+		}
+		results = append(results, rows...)
+	}
+	if jsonOut {
+		return writeNetJSON(mib, stripes, reps, results)
+	}
+	return nil
+}
+
+// netVariant is one engine configuration of the read/write A/B.
+type netVariant struct {
+	name string
+	key  string
+	opts []blockserver.StoreOption
+}
+
+// netPass runs the read/write A/B once at the current GOMAXPROCS, printing
+// its table and speedup lines and returning the JSON rows stamped with mp.
+func netPass(reps, mp int, code *carousel.Code, addrs []string, blockSize, size int, data []byte,
+	variants []netVariant) ([]netEntry, error) {
+	ctx := context.Background()
 	t := bench.NewTable(os.Stdout, "case", "MB/s", "ms/op", "allocs/op", "dials/read")
 	results := make([]netEntry, 0, 2*len(variants))
 	speedup := make(map[string]float64)
 	for _, v := range variants {
 		st, err := blockserver.NewStore(code, addrs, blockSize, v.opts...)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		// Seed the file (and for the write benchmark, measure re-writes of
 		// the same blocks on warm servers).
 		if _, err := st.WriteFile(ctx, "netfile", data); err != nil {
 			st.Close()
-			return err
+			return nil, err
 		}
 		out, _, err := st.ReadFile(ctx, "netfile", size)
 		if err != nil {
 			st.Close()
-			return err
+			return nil, err
 		}
 		if !bytes.Equal(out, data) {
 			st.Close()
-			return fmt.Errorf("%s: read mismatch", v.name)
+			return nil, fmt.Errorf("%s: read mismatch", v.name)
 		}
 		// Steady-state dial cost of one read, after the pool is warm.
 		_, stats, err := st.ReadFile(ctx, "netfile", size)
 		if err != nil {
 			st.Close()
-			return err
+			return nil, err
 		}
 		var dials int64
 		for _, d := range stats.Dials {
@@ -156,12 +186,13 @@ func figNet(mib, reps int, jsonOut bool) error {
 			}
 			if benchErr != nil {
 				st.Close()
-				return fmt.Errorf("%s %s: %w", v.name, op.kind, benchErr)
+				return nil, fmt.Errorf("%s %s: %w", v.name, op.kind, benchErr)
 			}
 			mbps := float64(size) * float64(r.N) / r.T.Seconds() / 1e6
 			name := op.kind + "/" + v.name
 			e := netEntry{
 				Case:        name,
+				GoMaxProcs:  mp,
 				MBps:        mbps,
 				NsPerOp:     r.NsPerOp(),
 				AllocsPerOp: r.AllocsPerOp(),
@@ -187,10 +218,7 @@ func figNet(mib, reps int, jsonOut bool) error {
 		}
 	}
 	fmt.Println()
-	if jsonOut {
-		return writeNetJSON(mib, stripes, reps, results)
-	}
-	return nil
+	return results, nil
 }
 
 // netSection is the read/write A/B's slot in the sectioned benchDoc.

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
@@ -19,11 +18,12 @@ import (
 
 // benchDoc is the BENCH_clusterbench.json schema: one section per live-TCP
 // figure, merged on write so `-fig net -json` and `-fig recovery -json`
-// each refresh only their own section.
+// each refresh only their own section. GOMAXPROCS is a per-result-row axis
+// (see netEntry/recoveryEntry), not a document-level fact, so a -maxprocs
+// sweep can put every pass in one snapshot.
 type benchDoc struct {
-	GoMaxProcs int              `json:"gomaxprocs"`
-	Net        *netSection      `json:"net,omitempty"`
-	Recovery   *recoverySection `json:"recovery,omitempty"`
+	Net      *netSection      `json:"net,omitempty"`
+	Recovery *recoverySection `json:"recovery,omitempty"`
 }
 
 // updateBenchJSON reads the snapshot (tolerating a missing or old-schema
@@ -33,7 +33,6 @@ func updateBenchJSON(apply func(*benchDoc)) error {
 	if raw, err := os.ReadFile(netJSONPath); err == nil {
 		_ = json.Unmarshal(raw, &doc)
 	}
-	doc.GoMaxProcs = runtime.GOMAXPROCS(0)
 	apply(&doc)
 	out, err := json.MarshalIndent(&doc, "", "  ")
 	if err != nil {
@@ -60,6 +59,9 @@ type recoverySection struct {
 
 type recoveryEntry struct {
 	Case string `json:"case"`
+	// GoMaxProcs is the per-row sweep axis: the GOMAXPROCS value this row
+	// was measured under (see -maxprocs).
+	GoMaxProcs int `json:"gomaxprocs"`
 	// MBps is recovered block bytes per second — the Fig. 11 recovery
 	// throughput quantity.
 	MBps           float64 `json:"mb_per_s"`
@@ -102,7 +104,9 @@ func helperSpread(chunks map[string]int64) (distinct int, maxOverMean float64) {
 // would hide exactly the stall the engine exists to overlap. Both variants
 // share the pooled store; the A/B isolates repair scheduling. Reported
 // MB/s is regenerated block bytes per second; best-of-reps as in figNet.
-func figRecovery(mib, reps int, delay time.Duration, jsonOut bool) error {
+// The sweep slice runs the whole A/B once per GOMAXPROCS value, one row
+// per case per value.
+func figRecovery(mib, reps int, delay time.Duration, sweep []int, jsonOut bool) error {
 	if mib < 1 {
 		mib = 1
 	}
@@ -147,40 +151,75 @@ func figRecovery(mib, reps int, delay time.Duration, jsonOut bool) error {
 		addrs[i] = addr
 	}
 	data := workload.Text(size, 23)
-	ctx := context.Background()
-	files := []blockserver.FileSpec{{Name: "recfile", Size: size}}
 
-	variants := []struct {
-		name string
-		key  string
-		opts []blockserver.RecoveryOption
-	}{
+	variants := []recoveryVariant{
 		{"sequential+static-helpers", "baseline", []blockserver.RecoveryOption{
 			blockserver.WithRecoveryConcurrency(1), blockserver.WithRecoveryStaticHelpers()}},
 		{"parallel+rotated-helpers", "engine", nil},
 	}
+	results := make([]recoveryEntry, 0, len(variants)*len(sweep))
+	for _, mp := range sweep {
+		setMaxProcs(mp)
+		if len(sweep) > 1 {
+			bench.Section(os.Stdout, fmt.Sprintf("GOMAXPROCS = %d", mp))
+		}
+		rows, err := recoveryPass(reps, mp, failed, code, addrs, blockSize, stripes, size, data, variants)
+		if err != nil {
+			return err
+		}
+		results = append(results, rows...)
+	}
+	if jsonOut {
+		return updateBenchJSON(func(doc *benchDoc) {
+			doc.Recovery = &recoverySection{
+				FileMiB: mib,
+				Stripes: stripes,
+				Reps:    reps,
+				DelayUS: delay.Microseconds(),
+				Code:    "Carousel(12,6,10,10)",
+				Results: results,
+			}
+		})
+	}
+	return nil
+}
+
+// recoveryVariant is one repair-scheduling configuration of the A/B.
+type recoveryVariant struct {
+	name string
+	key  string
+	opts []blockserver.RecoveryOption
+}
+
+// recoveryPass runs the recovery A/B once at the current GOMAXPROCS,
+// printing its table and speedup line and returning the JSON rows stamped
+// with mp.
+func recoveryPass(reps, mp, failed int, code *carousel.Code, addrs []string, blockSize, stripes, size int,
+	data []byte, variants []recoveryVariant) ([]recoveryEntry, error) {
+	ctx := context.Background()
+	files := []blockserver.FileSpec{{Name: "recfile", Size: size}}
 	t := bench.NewTable(os.Stdout, "case", "MB/s", "ms/pass", "helpers used", "max/mean chunks")
 	results := make([]recoveryEntry, 0, len(variants))
 	speedup := make(map[string]float64)
 	for _, v := range variants {
 		st, err := blockserver.NewStore(code, addrs, blockSize)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if _, err := st.WriteFile(ctx, "recfile", data); err != nil {
 			st.Close()
-			return err
+			return nil, err
 		}
 		// One untimed pass warms pool connections and repair plans and
 		// yields the helper-balance evidence for the table.
 		rep, err := st.RecoverServer(ctx, failed, files, v.opts...)
 		if err != nil {
 			st.Close()
-			return fmt.Errorf("%s: %w", v.name, err)
+			return nil, fmt.Errorf("%s: %w", v.name, err)
 		}
 		if rep.BlocksRepaired != stripes {
 			st.Close()
-			return fmt.Errorf("%s: repaired %d blocks, want %d", v.name, rep.BlocksRepaired, stripes)
+			return nil, fmt.Errorf("%s: repaired %d blocks, want %d", v.name, rep.BlocksRepaired, stripes)
 		}
 		var benchErr error
 		var r testing.BenchmarkResult
@@ -197,13 +236,14 @@ func figRecovery(mib, reps int, delay time.Duration, jsonOut bool) error {
 		}
 		st.Close()
 		if benchErr != nil {
-			return fmt.Errorf("%s: %w", v.name, benchErr)
+			return nil, fmt.Errorf("%s: %w", v.name, benchErr)
 		}
 		mbps := float64(rep.BytesRecovered) * float64(r.N) / r.T.Seconds() / 1e6
 		used, mom := helperSpread(rep.HelperChunks)
 		speedup[v.key] = mbps
 		results = append(results, recoveryEntry{
 			Case:           v.name,
+			GoMaxProcs:     mp,
 			MBps:           mbps,
 			NsPerPass:      r.NsPerOp(),
 			BlocksRepaired: rep.BlocksRepaired,
@@ -219,17 +259,5 @@ func figRecovery(mib, reps int, delay time.Duration, jsonOut bool) error {
 			speedup["engine"]/base, speedup["engine"], base)
 	}
 	fmt.Println()
-	if jsonOut {
-		return updateBenchJSON(func(doc *benchDoc) {
-			doc.Recovery = &recoverySection{
-				FileMiB: mib,
-				Stripes: stripes,
-				Reps:    reps,
-				DelayUS: delay.Microseconds(),
-				Code:    "Carousel(12,6,10,10)",
-				Results: results,
-			}
-		})
-	}
-	return nil
+	return results, nil
 }

@@ -9,10 +9,15 @@
 //
 // Usage:
 //
-//	codingbench [-fig all|5|6a|6b|7|8a|8b|ext|lrc|par|tol] [-ks 2,4,6,8,10] [-mb 16] [-trafficmb 512] [-reps 3] [-json]
+//	codingbench [-fig all|5|6a|6b|7|8a|8b|ext|lrc|par|tol] [-ks 2,4,6,8,10] [-mb 16] [-trafficmb 512] [-reps 3] [-maxprocs 1,2,4,8] [-json]
 //
 // With -json the throughput figures (6a, 6b) are also written to
-// BENCH_codingbench.json, one entry per (figure, scheme, k).
+// BENCH_codingbench.json, one entry per (figure, scheme, k, gomaxprocs).
+//
+// -maxprocs sweeps GOMAXPROCS: the selected figures run once per value,
+// with the runtime resized and the shared worker pool grown before each
+// pass, so one invocation measures the per-core scaling curve. Codes pick
+// up the new GOMAXPROCS because encode/decode concurrency defaults to it.
 //
 // Absolute throughput depends on the machine (the paper used ISA-L on a
 // c4.4xlarge); the comparisons across codes use identical kernels, so the
@@ -35,6 +40,7 @@ import (
 	"carousel/internal/mbr"
 	"carousel/internal/obs"
 	"carousel/internal/reedsolomon"
+	"carousel/internal/workpool"
 )
 
 func main() {
@@ -43,6 +49,7 @@ func main() {
 	mb := flag.Int("mb", 16, "block size in MiB for throughput and timing figures")
 	trafficMB := flag.Int("trafficmb", 512, "block size in MiB that Fig. 7 traffic is reported for")
 	reps := flag.Int("reps", 3, "timed repetitions per measurement")
+	maxprocs := flag.String("maxprocs", "", "comma-separated GOMAXPROCS values to sweep (default: current value only)")
 	jsonOut := flag.Bool("json", false, "also write throughput results to "+jsonPath)
 	flag.Parse()
 
@@ -50,6 +57,11 @@ func main() {
 	ks, err := parseKs(*ksFlag)
 	if err != nil {
 		log.Error("bad -ks", "err", err)
+		os.Exit(1)
+	}
+	sweep, err := parseMaxprocs(*maxprocs)
+	if err != nil {
+		log.Error("bad -maxprocs", "err", err)
 		os.Exit(1)
 	}
 	run := func(name string, fn func([]int, int, int) error) {
@@ -61,16 +73,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	run("5", func([]int, int, int) error { return fig5() })
-	run("6a", fig6a)
-	run("6b", fig6b)
-	run("7", func(ks []int, _, _ int) error { return fig7(ks, *trafficMB) })
-	run("8a", fig8a)
-	run("8b", fig8b)
-	run("ext", extFutureWork)
-	run("lrc", func(ks []int, _, _ int) error { return lrcComparison(*trafficMB) })
-	run("par", parEncode)
-	run("tol", func([]int, int, int) error { return tolerance() })
+	for _, mp := range sweep {
+		setMaxProcs(mp)
+		if len(sweep) > 1 {
+			bench.Section(os.Stdout, fmt.Sprintf("GOMAXPROCS = %d", mp))
+		}
+		run("5", func([]int, int, int) error { return fig5() })
+		run("6a", fig6a)
+		run("6b", fig6b)
+		run("7", func(ks []int, _, _ int) error { return fig7(ks, *trafficMB) })
+		run("8a", fig8a)
+		run("8b", fig8b)
+		run("ext", extFutureWork)
+		run("lrc", func(ks []int, _, _ int) error { return lrcComparison(*trafficMB) })
+		run("par", parEncode)
+		run("tol", func([]int, int, int) error { return tolerance() })
+	}
 	if *jsonOut {
 		if err := writeJSON(*mb, *reps); err != nil {
 			log.Error("writing JSON failed", "err", err)
@@ -79,15 +97,48 @@ func main() {
 	}
 }
 
+// curMaxProcs is the GOMAXPROCS value of the current sweep pass; record
+// stamps it onto every row so the JSON carries the axis per entry rather
+// than as a document-level field.
+var curMaxProcs = runtime.GOMAXPROCS(0)
+
+// setMaxProcs resizes the runtime and grows the shared worker pool for one
+// sweep pass. The pool is grow-only, so sweeping downward still measures
+// the smaller GOMAXPROCS correctly: the runtime schedules that many Ps
+// regardless of how many pool workers are parked.
+func setMaxProcs(n int) {
+	runtime.GOMAXPROCS(n)
+	workpool.Ensure(n)
+	curMaxProcs = n
+}
+
+// parseMaxprocs parses the -maxprocs sweep list; empty means a single pass
+// at the current GOMAXPROCS.
+func parseMaxprocs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{runtime.GOMAXPROCS(0)}, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid GOMAXPROCS %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // jsonPath is where -json writes the machine-readable snapshot of the
 // throughput figures, one entry per (figure, scheme, k).
 const jsonPath = "BENCH_codingbench.json"
 
 type jsonEntry struct {
-	Figure string  `json:"figure"` // "6a" (encode) or "6b" (decode)
-	Scheme string  `json:"scheme"`
-	K      int     `json:"k"`
-	MBps   float64 `json:"mb_per_s"`
+	Figure     string  `json:"figure"` // "6a" (encode) or "6b" (decode)
+	Scheme     string  `json:"scheme"`
+	K          int     `json:"k"`
+	GoMaxProcs int     `json:"gomaxprocs"` // sweep axis, stamped per row
+	MBps       float64 `json:"mb_per_s"`
 }
 
 var jsonResults = []jsonEntry{} // non-nil so -json always emits an array
@@ -95,17 +146,16 @@ var jsonResults = []jsonEntry{} // non-nil so -json always emits an array
 // record stores one throughput measurement for -json and returns it, so
 // table rows can record in-line.
 func record(fig, scheme string, k int, mbps float64) float64 {
-	jsonResults = append(jsonResults, jsonEntry{Figure: fig, Scheme: scheme, K: k, MBps: mbps})
+	jsonResults = append(jsonResults, jsonEntry{Figure: fig, Scheme: scheme, K: k, GoMaxProcs: curMaxProcs, MBps: mbps})
 	return mbps
 }
 
 func writeJSON(mb, reps int) error {
 	doc := struct {
-		GoMaxProcs int         `json:"gomaxprocs"`
-		BlockMiB   int         `json:"block_mib"`
-		Reps       int         `json:"reps"`
-		Results    []jsonEntry `json:"results"`
-	}{runtime.GOMAXPROCS(0), mb, reps, jsonResults}
+		BlockMiB int         `json:"block_mib"`
+		Reps     int         `json:"reps"`
+		Results  []jsonEntry `json:"results"`
+	}{mb, reps, jsonResults}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -12,15 +12,18 @@ import (
 // perturbs allocation counts, and the race suites already exercise the
 // same paths for correctness.
 
-// TestFrameRoundTripAllocs pins the wire framing: once the buffer pool is
-// warm, writeFrame + readFrame of a block-sized payload must not allocate
-// beyond the ≤2 budget (the pooled payload is recycled each round).
+// TestFrameRoundTripAllocs pins the wire framing under the vectored write
+// path: once the buffer pool is warm, a frameWriter flush + readFrame of a
+// block-sized payload must not allocate beyond the ≤2 budget (the pooled
+// payload is recycled each round, and the gather list is rebuilt from the
+// writer's fixed backing array, never grown).
 func TestFrameRoundTripAllocs(t *testing.T) {
 	payload := bytes.Repeat([]byte("f"), 64<<10)
 	var wire bytes.Buffer
 	wire.Grow(len(payload) + 64)
+	var fw frameWriter
 	// Warm the pool and the buffer once.
-	if err := writeFrame(&wire, payload); err != nil {
+	if err := fw.writeFrame(&wire, payload); err != nil {
 		t.Fatal(err)
 	}
 	if b, err := readFrame(&wire); err != nil {
@@ -30,7 +33,7 @@ func TestFrameRoundTripAllocs(t *testing.T) {
 	}
 	n := testing.AllocsPerRun(100, func() {
 		wire.Reset()
-		if err := writeFrame(&wire, payload); err != nil {
+		if err := fw.writeFrame(&wire, payload); err != nil {
 			t.Fatal(err)
 		}
 		b, err := readFrame(&wire)
@@ -41,6 +44,37 @@ func TestFrameRoundTripAllocs(t *testing.T) {
 	})
 	if n > 2 {
 		t.Errorf("frame round-trip allocates %.1f times per run, want <= 2", n)
+	}
+}
+
+// TestPooledGetRangeIntoAllocs pins the scatter-read hot path: a warm
+// GetRangeInto lands the payload in caller memory with no pooled
+// intermediary, so the exchange closure must be the only allocation left.
+func TestPooledGetRangeIntoAllocs(t *testing.T) {
+	_, addrs := startServers(t, nil, 1)
+	pool := NewPool(addrs, PoolOptions{PerPeer: 1, Client: fastOpts()})
+	t.Cleanup(pool.Close)
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte("s"), 64<<10)
+	c, err := pool.Get(ctx, addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Put(c)
+	if err := c.Put(ctx, "blk-into", payload); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 4096)
+	if err := c.GetRangeInto(ctx, "blk-into", 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(100, func() {
+		if err := c.GetRangeInto(ctx, "blk-into", 128, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > 2 {
+		t.Errorf("warm GetRangeInto allocates %.1f times per run, want <= 2", n)
 	}
 }
 

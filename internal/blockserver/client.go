@@ -134,9 +134,11 @@ type Client struct {
 	onDial func()       // pool hook, observed after every successful dial
 	dials  atomic.Int64 // successful dials (read concurrently by pool stats)
 
-	req  []byte  // request scratch: op + name + args (+ put frame header)
-	hdr  [9]byte // response scratch: status + payload length + payload CRC
-	resp []byte  // payload handoff from the exchange to the caller
+	req  []byte      // request scratch: op + name + args (+ put frame header)
+	hdr  [9]byte     // response scratch: status + payload length + payload CRC
+	resp []byte      // payload handoff from the exchange to the caller
+	arr  [2][]byte   // gather-list backing for vectored sends
+	iov  net.Buffers // per-send view into arr, consumed by the write
 
 	watch      *watcher
 	watchOn    bool // watcher goroutine currently running
@@ -391,6 +393,20 @@ func (c *Client) sendRequest(conn net.Conn) error {
 	return err
 }
 
+// sendRequestWith flushes the request scratch and a payload as one
+// vectored write: on TCP the preamble (op, name, frame header) and the
+// block body leave in a single writev with no intermediate copy, so a
+// stripe-sized Put costs one syscall and zero payload copies client-side.
+func (c *Client) sendRequestWith(conn net.Conn, payload []byte) error {
+	if len(payload) == 0 {
+		return c.sendRequest(conn)
+	}
+	c.arr[0] = c.req
+	c.arr[1] = payload
+	c.iov = net.Buffers(c.arr[:2])
+	return flushVectored(conn, &c.iov)
+}
+
 // readResponse reads the status byte plus payload frame into the client's
 // persistent header scratch and a pooled payload buffer, and maps non-OK
 // statuses to errors (recycling their payload once rendered).
@@ -435,17 +451,12 @@ func (c *Client) Put(ctx context.Context, name string, data []byte) error {
 		if err := c.beginRequest(opPut, name); err != nil {
 			return err
 		}
-		// The payload frame header rides in the request scratch so the
-		// whole preamble goes out in one write.
+		// The payload frame header rides in the request scratch, and the
+		// scratch plus the block body go out as one vectored write.
 		c.addU32(uint32(len(data)))
 		c.addU32(Checksum(data))
-		if err := c.sendRequest(conn); err != nil {
+		if err := c.sendRequestWith(conn, data); err != nil {
 			return err
-		}
-		if len(data) > 0 {
-			if _, err := conn.Write(data); err != nil {
-				return err
-			}
 		}
 		payload, err := c.readResponse(conn)
 		if err != nil {
@@ -509,6 +520,83 @@ func (c *Client) GetRange(ctx context.Context, name string, off, length int) ([]
 	c.resp = nil
 	cliBytesRx.Add(int64(len(out)))
 	return out, err
+}
+
+// readResponseInto reads a response whose OK payload lands directly in
+// dst — the scatter half of the zero-copy framing: the socket fills the
+// caller's buffer (a stripe slot, typically), no pooled intermediary, no
+// copy. The checksum is verified on dst after the read. Non-OK payloads
+// (error messages, always small) still go through the pooled path. An OK
+// payload whose length differs from len(dst) is a protocol violation: the
+// error is out-of-band, so the caller's retry machinery poisons the
+// connection rather than desyncing the stream.
+func (c *Client) readResponseInto(conn net.Conn, dst []byte) error {
+	if _, err := io.ReadFull(conn, c.hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(c.hdr[1:5])
+	if n > maxPayload {
+		return fmt.Errorf("blockserver: frame of %d bytes exceeds limit", n)
+	}
+	crc := binary.BigEndian.Uint32(c.hdr[5:9])
+	if c.hdr[0] != statusOK {
+		buf := bufpool.Get(int(n))
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			bufpool.Put(buf)
+			return err
+		}
+		if Checksum(buf) != crc {
+			bufpool.Put(buf)
+			return errFrameChecksum
+		}
+		var err error
+		switch c.hdr[0] {
+		case statusNotFound:
+			err = ErrNotFound
+		case statusCorrupt:
+			err = fmt.Errorf("%w: %s", ErrCorrupt, buf)
+		default:
+			err = fmt.Errorf("%w: %s", ErrRemote, buf)
+		}
+		bufpool.Put(buf)
+		return err
+	}
+	if int(n) != len(dst) {
+		return fmt.Errorf("blockserver: response of %d bytes for a %d-byte destination", n, len(dst))
+	}
+	if _, err := io.ReadFull(conn, dst); err != nil {
+		return err
+	}
+	if Checksum(dst) != crc {
+		return errFrameChecksum
+	}
+	return nil
+}
+
+// GetRangeInto fetches len(dst) bytes starting at off directly into dst —
+// the zero-copy variant of GetRange for callers that already own the
+// destination (the stripe pipeline scatters each source's range into its
+// slot of the decode buffer). dst is fully overwritten on success; on
+// error its contents are unspecified.
+func (c *Client) GetRangeInto(ctx context.Context, name string, off int, dst []byte) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	err := c.do(ctx, opRange, func(conn net.Conn) error {
+		if err := c.beginRequest(opRange, name); err != nil {
+			return err
+		}
+		c.addU32(uint32(off))
+		c.addU32(uint32(len(dst)))
+		if err := c.sendRequest(conn); err != nil {
+			return err
+		}
+		return c.readResponseInto(conn, dst)
+	})
+	if err == nil {
+		cliBytesRx.Add(int64(len(dst)))
+	}
+	return err
 }
 
 // Chunk asks the server to compute its repair contribution for the failed

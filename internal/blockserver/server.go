@@ -89,9 +89,11 @@ func srvRPCCounter(op, st byte) *obs.Counter {
 // live as long as the connection.
 type connState struct {
 	conn  net.Conn
-	hdr   [9]byte // response: status + payload length + payload CRC
-	small [4]byte // op byte, name length, and integer-argument scratch
-	name  []byte  // name scratch, grown to the largest name seen
+	hdr   [9]byte     // response: status + payload length + payload CRC
+	small [4]byte     // op byte, name length, and integer-argument scratch
+	name  []byte      // name scratch, grown to the largest name seen
+	arr   [2][]byte   // gather-list backing for vectored responses
+	iov   net.Buffers // per-reply view into arr, consumed by the write
 }
 
 func (cs *connState) readOp() (byte, error) {
@@ -129,9 +131,11 @@ func (cs *connState) readU32() (uint32, error) {
 }
 
 // reply records the RPC outcome and sends the response: the status byte
-// and frame header are built in the connection scratch and flushed in one
-// write, followed by the payload. Every handle arm funnels through here so
-// the op/status counter and tx byte count cover all served requests.
+// and frame header are built in the connection scratch and flushed
+// together with the payload in one vectored write (writev on TCP), so a
+// block-sized response leaves as a single gather list with no copy and no
+// small-header segment. Every handle arm funnels through here so the
+// op/status counter and tx byte count cover all served requests.
 func (s *Server) reply(cs *connState, op, st byte, payload []byte) error {
 	srvRPCCounter(op, st).Inc()
 	if st == statusOK {
@@ -140,14 +144,14 @@ func (s *Server) reply(cs *connState, op, st byte, payload []byte) error {
 	cs.hdr[0] = st
 	binary.BigEndian.PutUint32(cs.hdr[1:5], uint32(len(payload)))
 	binary.BigEndian.PutUint32(cs.hdr[5:9], Checksum(payload))
-	if _, err := cs.conn.Write(cs.hdr[:]); err != nil {
-		return err
+	cs.arr[0] = cs.hdr[:]
+	n := 1
+	if len(payload) > 0 {
+		cs.arr[1] = payload
+		n = 2
 	}
-	if len(payload) == 0 {
-		return nil
-	}
-	_, err := cs.conn.Write(payload)
-	return err
+	cs.iov = net.Buffers(cs.arr[:n])
+	return flushVectored(cs.conn, &cs.iov)
 }
 
 // storedBlock is one block at rest: its content plus the CRC32C computed at

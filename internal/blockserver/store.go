@@ -319,9 +319,9 @@ func (rs *ReadStats) source(r sourceResult) {
 		return
 	}
 	rs.mu.Lock()
-	rs.BytesFetched += int64(len(r.data))
+	rs.BytesFetched += int64(r.bytes)
 	rs.mu.Unlock()
-	mBytesFetched.Add(int64(len(r.data)))
+	mBytesFetched.Add(int64(r.bytes))
 }
 
 // Path summarizes which path served the read.
@@ -425,18 +425,24 @@ func dialDelta(before, after map[string]int64) map[string]int64 {
 	return d
 }
 
-// sourceResult carries one source stream's outcome.
+// sourceResult carries one source stream's outcome. data is the pooled
+// payload for whole-block fetches; scatter reads land their bytes directly
+// in caller-owned memory and leave data nil, reporting the volume through
+// bytes instead.
 type sourceResult struct {
-	idx  int
-	data []byte
-	err  error
+	idx   int
+	data  []byte
+	bytes int
+	err   error
 }
 
 // readStripeInto fetches one stripe's original data directly into dst
 // (k*blockSize bytes): hedged parallel prefix reads first, fastest-k
-// fallback second. Fetches run over pooled clients, and every payload is
-// recycled once its bytes are copied or decoded, so a warm steady-state
-// stripe allocates almost nothing.
+// fallback second. Fetches run over pooled clients. On the parallel path
+// each source's range lands straight in its slot of dst (a scatter read —
+// the socket fills the output buffer, no pooled intermediary, no copy);
+// the fallback path still moves whole blocks through pooled buffers
+// because the decode needs them assembled.
 func (s *Store) readStripeInto(ctx context.Context, name string, st int, dst []byte, stats *ReadStats) error {
 	ctx, ssp := obs.StartSpan(ctx, "stripe")
 	ssp.SetAttr("stripe", st)
@@ -453,10 +459,13 @@ func (s *Store) readStripeInto(ctx context.Context, name string, st int, dst []b
 	lsp.SetAttr("sources", p).SetAttr("bytes_per_source", per)
 	lsp.End()
 
-	// Phase 1: fetch every data-bearing block's data prefix in parallel,
-	// bounded by the hedge deadline. The context bound guarantees every
-	// goroutine exits by the deadline — a checkout blocked on an exhausted
-	// pool gives up with it — so the WaitGroup cannot leak.
+	// Phase 1: scatter every data-bearing block's data prefix in parallel,
+	// each directly into its slot of dst (the slots are disjoint, so the
+	// sources need no coordination), bounded by the hedge deadline. The
+	// context bound guarantees every goroutine exits by the deadline — a
+	// checkout blocked on an exhausted pool gives up with it — so the
+	// WaitGroup cannot leak. On failure the fallback below waits for every
+	// scatterer to exit before it overwrites dst.
 	fetchCtx, fsp := obs.StartSpan(ctx, "fetch")
 	fsp.SetAttr("mode", "parallel").SetAttr("sources", p)
 	hctx, hcancel := context.WithTimeout(fetchCtx, s.hedge)
@@ -471,9 +480,13 @@ func (s *Store) readStripeInto(ctx context.Context, name string, st int, dst []b
 				results <- sourceResult{idx: i, err: err}
 				return
 			}
-			data, err := c.GetRange(hctx, blockName(name, st, i), 0, per)
+			err = c.GetRangeInto(hctx, blockName(name, st, i), 0, dst[i*per:(i+1)*per])
 			s.pool.Put(c)
-			results <- sourceResult{idx: i, data: data, err: err}
+			r := sourceResult{idx: i, err: err}
+			if err == nil {
+				r.bytes = per
+			}
+			results <- r
 		}(i)
 	}
 	ok := 0
@@ -488,11 +501,8 @@ func (s *Store) readStripeInto(ctx context.Context, name string, st int, dst []b
 			failed = true
 			break
 		}
-		// Reassemble in place: this prefix's slot in the output is known, so
-		// the bytes land directly in dst and the wire buffer goes back to
-		// the pool.
-		copy(dst[r.idx*per:(r.idx+1)*per], r.data)
-		Recycle(r.data)
+		// The bytes already landed in dst[r.idx*per:(r.idx+1)*per]: nothing
+		// to copy, nothing to recycle.
 		ok++
 	}
 	hcancel()
@@ -549,7 +559,7 @@ func (s *Store) readStripeAnyKInto(ctx context.Context, name string, st int, dst
 			}
 			data, err := c.Get(fctx, blockName(name, st, i))
 			s.pool.Put(c)
-			results <- sourceResult{idx: i, data: data, err: err}
+			results <- sourceResult{idx: i, data: data, bytes: len(data), err: err}
 		}(i)
 	}
 	blocks := make([][]byte, n)
@@ -700,7 +710,7 @@ func (s *Store) repair(ctx context.Context, name string, st, failed int, ro repa
 			}
 			chunk, cerr := c.Chunk(cctx, blockName(name, st, i), i, failed)
 			s.pool.Put(c)
-			results <- sourceResult{idx: i, data: chunk, err: cerr}
+			results <- sourceResult{idx: i, data: chunk, bytes: len(chunk), err: cerr}
 		}()
 	}
 	// Contact exactly d helpers up front (the paper's optimal traffic);

@@ -3,9 +3,14 @@
 // sync.Pool it survives garbage collections (so allocation-regression
 // tests are deterministic) and it never boxes a slice header into an
 // interface, so Put itself is allocation-free. Buffers are grouped into
-// power-of-two classes; each class keeps a small bounded stack under its
-// own mutex, so a dropped buffer is reclaimed by the GC instead of growing
-// the pool without bound.
+// power-of-two classes; each class is split into independently locked
+// shards so concurrent Get/Put traffic from many pipeline goroutines does
+// not serialize on one mutex per size. A Get that misses its first shard
+// steals from the others before allocating, and a Put that finds its shard
+// full files the buffer in any shard with room, so the sharding changes
+// contention, not the hit rate. Retention stays bounded per class; a
+// dropped buffer is reclaimed by the GC instead of growing the pool
+// without bound.
 //
 // Ownership is explicit: Get hands the caller exclusive use of the slice,
 // and Put must only be called once the caller is done with it. Forgetting
@@ -15,6 +20,7 @@ package bufpool
 
 import (
 	"math/bits"
+	"math/rand/v2"
 	"sync"
 
 	"carousel/internal/obs"
@@ -27,8 +33,12 @@ const (
 	// maxClassBits is the largest class (64 MiB): anything bigger goes
 	// straight to the allocator.
 	maxClassBits = 26
-	// maxPerClass bounds how many buffers a class retains.
-	maxPerClass = 64
+	// nshards splits each class's free list; must be a power of two so the
+	// shard pick is a mask, not a division.
+	nshards = 8
+	// maxPerShard bounds retention per shard; the per-class bound is
+	// nshards * maxPerShard = 64, same as the unsharded pool kept.
+	maxPerShard = 8
 )
 
 // Pool metrics: the hit rate is the tentpole observability signal for the
@@ -51,13 +61,55 @@ func init() {
 	})
 }
 
-// class is one size class: a bounded LIFO stack of buffers.
-type class struct {
+// shard is one independently locked LIFO stack. The backing array is fixed
+// size so pushes never allocate (append on a [][]byte would), keeping Put
+// allocation-free by construction rather than by amortization.
+type shard struct {
 	mu   sync.Mutex
-	bufs [][]byte
+	n    int
+	bufs [maxPerShard][]byte
+}
+
+// tryGet pops the top buffer, or returns nil if the shard is empty.
+func (s *shard) tryGet() []byte {
+	s.mu.Lock()
+	if s.n == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.n--
+	b := s.bufs[s.n]
+	s.bufs[s.n] = nil
+	s.mu.Unlock()
+	return b
+}
+
+// tryPut pushes b, or reports false if the shard is full.
+func (s *shard) tryPut(b []byte) bool {
+	s.mu.Lock()
+	if s.n == maxPerShard {
+		s.mu.Unlock()
+		return false
+	}
+	s.bufs[s.n] = b
+	s.n++
+	s.mu.Unlock()
+	return true
+}
+
+// class is one size class: nshards bounded stacks.
+type class struct {
+	shards [nshards]shard
 }
 
 var classes [maxClassBits + 1]class
+
+// pick returns a pseudo-random shard index. math/rand/v2's global
+// generator uses per-m state, so concurrent callers don't contend here —
+// that would defeat the point of sharding.
+func pick() int {
+	return int(rand.Uint32() & (nshards - 1))
+}
 
 // classFor returns the class index whose capacity (1<<idx) is the smallest
 // one holding n bytes, clamped below at minClassBits.
@@ -81,17 +133,17 @@ func Get(n int) []byte {
 		return make([]byte, n)
 	}
 	cl := &classes[c]
-	cl.mu.Lock()
-	if last := len(cl.bufs) - 1; last >= 0 {
-		b := cl.bufs[last]
-		cl.bufs[last] = nil
-		cl.bufs = cl.bufs[:last]
-		cl.mu.Unlock()
-		mHits.Inc()
-		mIdle.Add(-int64(cap(b)))
-		return b[:n]
+	// Try a random home shard first, then steal from the rest: a buffer
+	// parked anywhere in the class must be found before we allocate, or
+	// sharding would cost hit rate.
+	start := pick()
+	for i := 0; i < nshards; i++ {
+		if b := cl.shards[(start+i)&(nshards-1)].tryGet(); b != nil {
+			mHits.Inc()
+			mIdle.Add(-int64(cap(b)))
+			return b[:n]
+		}
 	}
-	cl.mu.Unlock()
 	mMisses.Inc()
 	return make([]byte, n, 1<<c)
 }
@@ -109,13 +161,12 @@ func Put(b []byte) {
 		c = maxClassBits
 	}
 	cl := &classes[c]
-	cl.mu.Lock()
-	if len(cl.bufs) >= maxPerClass {
-		cl.mu.Unlock()
-		mDrops.Inc()
-		return
+	start := pick()
+	for i := 0; i < nshards; i++ {
+		if cl.shards[(start+i)&(nshards-1)].tryPut(b) {
+			mIdle.Add(int64(cap(b)))
+			return
+		}
 	}
-	cl.bufs = append(cl.bufs, b)
-	cl.mu.Unlock()
-	mIdle.Add(int64(cap(b)))
+	mDrops.Inc()
 }

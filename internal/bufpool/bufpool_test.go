@@ -38,8 +38,8 @@ func TestTinyAndHugeBypass(t *testing.T) {
 	if len(huge) != 1<<maxClassBits+1 {
 		t.Fatalf("huge len = %d", len(huge))
 	}
-	Put(huge) // filed under the max class, not lost
-	Put(nil)  // no-op
+	Put(huge)            // filed under the max class, not lost
+	Put(nil)             // no-op
 	Put(make([]byte, 3)) // below the min class: dropped
 }
 
@@ -52,19 +52,81 @@ func TestForeignCapacityIsFiledByFloor(t *testing.T) {
 	}
 }
 
+// drainClass empties every shard of a class so retention tests start from
+// a known state.
+func drainClass(cl *class) {
+	for s := range cl.shards {
+		sh := &cl.shards[s]
+		sh.mu.Lock()
+		for i := 0; i < sh.n; i++ {
+			mIdle.Add(-int64(cap(sh.bufs[i])))
+			sh.bufs[i] = nil
+		}
+		sh.n = 0
+		sh.mu.Unlock()
+	}
+}
+
+// countClass sums retained buffers across a class's shards.
+func countClass(cl *class) int {
+	n := 0
+	for s := range cl.shards {
+		sh := &cl.shards[s]
+		sh.mu.Lock()
+		n += sh.n
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 func TestBoundedRetention(t *testing.T) {
 	cl := &classes[10]
-	cl.mu.Lock()
-	cl.bufs = cl.bufs[:0]
-	cl.mu.Unlock()
+	drainClass(cl)
+	const maxPerClass = nshards * maxPerShard
 	for i := 0; i < maxPerClass+10; i++ {
 		Put(make([]byte, 1<<10))
 	}
-	cl.mu.Lock()
-	n := len(cl.bufs)
-	cl.mu.Unlock()
-	if n != maxPerClass {
+	if n := countClass(cl); n != maxPerClass {
 		t.Fatalf("class retained %d buffers, want the %d cap", n, maxPerClass)
+	}
+}
+
+// TestPutOverflowsToSiblingShard pins the scan-for-room behavior: when the
+// randomly picked home shard is full, Put must file the buffer in another
+// shard rather than drop it, so sharding does not cost retention.
+func TestPutOverflowsToSiblingShard(t *testing.T) {
+	cl := &classes[12]
+	drainClass(cl)
+	// maxPerShard+1 puts cannot all land in one shard, whichever shards
+	// the random picks choose; none may be dropped while the class has
+	// room.
+	before := mDrops.Value()
+	for i := 0; i < maxPerShard+1; i++ {
+		Put(make([]byte, 1<<12))
+	}
+	if got := mDrops.Value() - before; got != 0 {
+		t.Fatalf("%d puts dropped with the class nearly empty", got)
+	}
+	if n := countClass(cl); n != maxPerShard+1 {
+		t.Fatalf("class retained %d buffers, want %d", n, maxPerShard+1)
+	}
+}
+
+// TestGetStealsFromSiblingShard pins the scan-on-miss behavior: a buffer
+// parked in any shard must be found before Get allocates.
+func TestGetStealsFromSiblingShard(t *testing.T) {
+	cl := &classes[13]
+	drainClass(cl)
+	b := make([]byte, 1<<13)
+	Put(b)
+	// Whatever shard b landed in, a Get from any random start must reach
+	// it: repeat enough times to cover every starting shard.
+	for i := 0; i < 4*nshards; i++ {
+		g := Get(1 << 13)
+		if &g[0] != &b[0] {
+			t.Fatalf("Get allocated fresh memory with a pooled buffer available (iter %d)", i)
+		}
+		Put(g)
 	}
 }
 
@@ -83,4 +145,25 @@ func TestConcurrent(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// BenchmarkBufpoolParallelGetPut measures Get/Put round-trips under
+// contention on a single hot size class — the stripe pipeline's access
+// pattern. Run with -cpu 1,2,4,8 to see how the sharded free lists scale.
+func BenchmarkBufpoolParallelGetPut(b *testing.B) {
+	// Pre-seed the class so steady state is all hits.
+	seed := make([][]byte, nshards*maxPerShard)
+	for i := range seed {
+		seed[i] = Get(64 << 10)
+	}
+	for _, s := range seed {
+		Put(s)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			buf := Get(64 << 10)
+			buf[0] = 1
+			Put(buf)
+		}
+	})
 }

@@ -32,6 +32,7 @@ package carousel
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"carousel/internal/codeplan"
@@ -101,8 +102,11 @@ type Code struct {
 // Option configures a Code at construction.
 type Option func(*Code)
 
-// WithEncodeConcurrency sets the number of goroutines Encode spreads the
-// unit buffers across. Values below 2 keep encoding serial (the default).
+// WithEncodeConcurrency sets the number of executors Encode and Decode
+// spread the unit buffers across. The default is GOMAXPROCS — every core
+// the runtime will schedule — so codecs saturate the machine out of the
+// box; pass 1 to force serial execution (ablation baselines and
+// single-stream fairness tests do).
 func WithEncodeConcurrency(workers int) Option {
 	return func(c *Code) {
 		if workers < 1 {
@@ -131,7 +135,7 @@ func New(n, k, d, p int, opts ...Option) (*Code, error) {
 	}
 	c := &Code{
 		n: n, k: k, d: d, p: p,
-		workers:      1,
+		workers:      runtime.GOMAXPROCS(0),
 		decCache:     make(map[string]*matrix.Matrix),
 		decPlans:     make(map[string]*codeplan.Plan),
 		rebuildPlans: make(map[string]*codeplan.Plan),

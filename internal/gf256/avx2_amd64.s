@@ -1,0 +1,87 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// 32 bytes of 0x0f: the nibble mask for the split-nibble multiply.
+DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $32
+
+// func avx2MulAsm(lo, hi *[16]byte, dst, src *byte, n int)
+// dst[i] = lo[src[i]&0xf] ^ hi[src[i]>>4] for i in [0, n);
+// n > 0 and n % 32 == 0.
+TEXT ·avx2MulAsm(SB), NOSPLIT, $0-40
+	MOVQ           lo+0(FP), AX
+	MOVQ           hi+8(FP), BX
+	MOVQ           dst+16(FP), DI
+	MOVQ           src+24(FP), SI
+	MOVQ           n+32(FP), CX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 (BX), Y5
+	VMOVDQU        nibMask<>(SB), Y6
+
+mulloop:
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y2
+	VPSHUFB Y1, Y5, Y3
+	VPXOR   Y3, Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mulloop
+	VZEROUPPER
+	RET
+
+// func avx2MulAddAsm(lo, hi *[16]byte, dst, src *byte, n int)
+// dst[i] ^= lo[src[i]&0xf] ^ hi[src[i]>>4] for i in [0, n);
+// n > 0 and n % 32 == 0.
+TEXT ·avx2MulAddAsm(SB), NOSPLIT, $0-40
+	MOVQ           lo+0(FP), AX
+	MOVQ           hi+8(FP), BX
+	MOVQ           dst+16(FP), DI
+	MOVQ           src+24(FP), SI
+	MOVQ           n+32(FP), CX
+	VBROADCASTI128 (AX), Y4
+	VBROADCASTI128 (BX), Y5
+	VMOVDQU        nibMask<>(SB), Y6
+
+muladdloop:
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y6, Y0, Y0
+	VPAND   Y6, Y1, Y1
+	VPSHUFB Y0, Y4, Y2
+	VPSHUFB Y1, Y5, Y3
+	VPXOR   Y3, Y2, Y2
+	VPXOR   (DI), Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     muladdloop
+	VZEROUPPER
+	RET
+
+// func avx2XorAsm(dst, src *byte, n int)
+// dst[i] ^= src[i] for i in [0, n); n > 0 and n % 32 == 0.
+TEXT ·avx2XorAsm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+xorloop:
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     xorloop
+	VZEROUPPER
+	RET

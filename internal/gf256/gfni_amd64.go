@@ -17,7 +17,7 @@ func gfniMulAsm(mat uint64, dst, src *byte, n int)
 func gfniMulAddAsm(mat uint64, dst, src *byte, n int)
 func xorAsm(dst, src *byte, n int)
 
-var useGFNI = detectGFNI()
+var useGFNI = !tierDisabled("gfni") && detectGFNI()
 
 func detectGFNI() bool {
 	maxID, _, _, _ := cpuidx(0, 0)
@@ -75,36 +75,63 @@ func buildGFNIMatrices() *[256]uint64 {
 	return &t
 }
 
-// mulSliceAsm computes out[i] = c*in[i] for the longest 64-byte-multiple
-// prefix and returns its length; the caller finishes the tail. Returns 0
-// when the kernel is unavailable, leaving the pure-Go path to do all work.
+// mulSliceAsm computes out[i] = c*in[i] for the longest SIMD-width-multiple
+// prefix and returns its length; the caller finishes the tail. The tiers
+// ladder: GFNI covers the 64-byte-multiple prefix, then AVX2 mops up a
+// remaining 32-byte chunk (and carries the whole prefix on GFNI-less
+// hardware). Returns 0 when no kernel is available, leaving the pure-Go
+// path to do all work.
 func mulSliceAsm(c byte, in, out []byte) int {
-	n := len(in) &^ 63
-	if n == 0 || !useGFNI {
-		return 0
+	i := 0
+	if useGFNI {
+		if w := len(in) &^ 63; w > 0 {
+			gfniMulAsm(gfniMatrices[c], &out[0], &in[0], w)
+			i = w
+		}
 	}
-	gfniMulAsm(gfniMatrices[c], &out[0], &in[0], n)
-	return n
+	if useAVX2 {
+		if w := (len(in) - i) &^ 31; w > 0 {
+			avx2MulAsm(&lowNibble[c], &highNibble[c], &out[i], &in[i], w)
+			i += w
+		}
+	}
+	return i
 }
 
-// mulAddSliceAsm computes out[i] ^= c*in[i] for the longest 64-byte-multiple
-// prefix and returns its length.
+// mulAddSliceAsm computes out[i] ^= c*in[i] for the longest
+// SIMD-width-multiple prefix and returns its length.
 func mulAddSliceAsm(c byte, in, out []byte) int {
-	n := len(in) &^ 63
-	if n == 0 || !useGFNI {
-		return 0
+	i := 0
+	if useGFNI {
+		if w := len(in) &^ 63; w > 0 {
+			gfniMulAddAsm(gfniMatrices[c], &out[0], &in[0], w)
+			i = w
+		}
 	}
-	gfniMulAddAsm(gfniMatrices[c], &out[0], &in[0], n)
-	return n
+	if useAVX2 {
+		if w := (len(in) - i) &^ 31; w > 0 {
+			avx2MulAddAsm(&lowNibble[c], &highNibble[c], &out[i], &in[i], w)
+			i += w
+		}
+	}
+	return i
 }
 
-// addSliceAsm computes out[i] ^= in[i] for the longest 64-byte-multiple
+// addSliceAsm computes out[i] ^= in[i] for the longest SIMD-width-multiple
 // prefix and returns its length.
 func addSliceAsm(in, out []byte) int {
-	n := len(in) &^ 63
-	if n == 0 || !useGFNI {
-		return 0
+	i := 0
+	if useGFNI {
+		if w := len(in) &^ 63; w > 0 {
+			xorAsm(&out[0], &in[0], w)
+			i = w
+		}
 	}
-	xorAsm(&out[0], &in[0], n)
-	return n
+	if useAVX2 {
+		if w := (len(in) - i) &^ 31; w > 0 {
+			avx2XorAsm(&out[i], &in[i], w)
+			i += w
+		}
+	}
+	return i
 }

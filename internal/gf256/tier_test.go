@@ -1,0 +1,36 @@
+package gf256
+
+import "testing"
+
+func TestParseDisabled(t *testing.T) {
+	for _, tc := range []struct {
+		env  string
+		gfni bool
+		avx2 bool
+	}{
+		{"", false, false},
+		{"gfni", true, false},
+		{"avx2", false, true},
+		{"avx2,gfni", true, true},
+		{" GFNI , Avx2 ", true, true},
+		{"all", true, true},
+		{"sse9", false, false},
+	} {
+		m := parseDisabled(tc.env)
+		gfni := m["gfni"] || m["all"]
+		avx2 := m["avx2"] || m["all"]
+		if gfni != tc.gfni || avx2 != tc.avx2 {
+			t.Errorf("parseDisabled(%q): gfni=%v avx2=%v, want %v %v", tc.env, gfni, avx2, tc.gfni, tc.avx2)
+		}
+	}
+}
+
+func TestTierNamesActiveKernel(t *testing.T) {
+	tier := Tier()
+	switch tier {
+	case "gfni", "avx2", "scalar":
+		t.Logf("active kernel tier: %s", tier)
+	default:
+		t.Fatalf("Tier() = %q, want gfni, avx2, or scalar", tier)
+	}
+}

@@ -1,20 +1,29 @@
 // Package workpool provides the shared, bounded worker pool behind every
 // parallel GF(2^8) hot path in this repository (codeplan execution,
-// matrix.ApplyToUnitsParallel). The pool holds exactly GOMAXPROCS
-// goroutines, started lazily on first use; callers never spawn goroutines
-// of their own, so total fan-out stays bounded no matter how many codecs
-// or stripes run concurrently.
+// matrix.ApplyToUnitsParallel, the stripe pipeline). The pool holds
+// GOMAXPROCS goroutines by default, started lazily on first use and
+// growable via Ensure; callers never spawn goroutines of their own, so
+// total fan-out stays bounded no matter how many codecs or stripes run
+// concurrently.
 //
 // The scheduling unit is a run descriptor (recycled through a sync.Pool)
 // holding an atomic task cursor: the calling goroutine and up to workers-1
 // pool goroutines race down the same index sequence, so work is balanced
-// without per-task channel traffic or per-task allocations. Submission is
-// non-blocking — when the pool is saturated the caller simply executes the
-// tasks itself — which makes nested Parallel calls deadlock-free by
-// construction.
+// without per-task channel traffic or per-task allocations.
+//
+// Submission is contention-free: each worker owns a single-slot atomic
+// mailbox, and a Parallel call offers its run to idle workers with one
+// CompareAndSwap per attempt, starting at a random worker so concurrent
+// submitters fan out across distinct cache lines instead of serializing on
+// a shared queue lock. Offers never block — when no worker is idle the
+// caller simply executes the tasks itself — and a draining worker parks a
+// sentinel in its own mailbox, so a nested Parallel call can never hand
+// work to the very goroutine that is blocked waiting for it. Together
+// these make nested saturation deadlock-free by construction.
 package workpool
 
 import (
+	"math/rand/v2"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -22,9 +31,23 @@ import (
 	"carousel/internal/obs"
 )
 
+// worker is one pool goroutine and its single-slot mailbox. slot holds nil
+// (idle, accepting offers), a *run (offer pending pickup), or busyMarker
+// (draining; offers bounce to the next worker).
+type worker struct {
+	slot atomic.Pointer[run]
+	note chan struct{} // capacity 1: wake-up edge, never blocks senders
+}
+
+// busyMarker occupies a worker's mailbox while it drains a run. It keeps
+// offer CAS attempts failing — crucially including offers from the nested
+// Parallel calls the worker itself makes — without any extra state.
+var busyMarker = new(run)
+
 var (
-	startOnce sync.Once
-	submit    chan *run
+	startOnce  sync.Once
+	growMu     sync.Mutex                // serializes grow; readers never take it
+	workersPtr atomic.Pointer[[]*worker] // copy-on-write, grow-only
 )
 
 // Pool metrics: one atomic add per Parallel call (not per task), so the
@@ -38,26 +61,70 @@ var (
 	mWorkers   = obs.Default().Gauge("workpool_workers") // 0 until the pool starts
 )
 
-// start launches the fixed pool: GOMAXPROCS goroutines draining a small
-// submission queue. Workers never block while holding a run, so every
-// accepted run terminates.
+// start brings the pool up with GOMAXPROCS workers.
 func start() {
+	empty := make([]*worker, 0)
+	workersPtr.Store(&empty)
+	obs.Default().GaugeFunc("workpool_queue_depth", func() int64 {
+		var d int64
+		for _, w := range *workersPtr.Load() {
+			if r := w.slot.Load(); r != nil && r != busyMarker {
+				d++
+			}
+		}
+		return d
+	})
 	n := runtime.GOMAXPROCS(0)
 	if n < 1 {
 		n = 1
 	}
-	submit = make(chan *run, 4*n)
+	grow(n)
+}
+
+// Ensure grows the pool to at least n workers. The pool never shrinks:
+// sizing is grow-only so concurrent Parallel calls always see a prefix of
+// the current worker set. Benchmark drivers call this after raising
+// GOMAXPROCS mid-process; steady-state servers never need to.
+func Ensure(n int) {
+	startOnce.Do(start)
+	grow(n)
+}
+
+func grow(n int) {
+	growMu.Lock()
+	defer growMu.Unlock()
+	ws := *workersPtr.Load()
+	if n <= len(ws) {
+		return
+	}
+	nws := make([]*worker, n)
+	copy(nws, ws)
+	for i := len(ws); i < n; i++ {
+		w := &worker{note: make(chan struct{}, 1)}
+		nws[i] = w
+		go w.loop()
+	}
+	workersPtr.Store(&nws)
 	mWorkers.Set(int64(n))
-	obs.Default().GaugeFunc("workpool_queue_depth", func() int64 { return int64(len(submit)) })
-	for i := 0; i < n; i++ {
-		go func() {
-			for r := range submit {
-				mBusy.Add(1)
-				r.drain()
-				mBusy.Add(-1)
-				r.wg.Done()
+}
+
+// loop is the worker body: sleep until a note arrives, then swap the
+// mailbox for the busy sentinel and drain whatever run was parked there.
+// Offers send the note only after a successful CAS into the slot, and the
+// slot returns to nil only here, so a pending run is never stranded.
+func (w *worker) loop() {
+	for range w.note {
+		for {
+			r := w.slot.Swap(busyMarker)
+			if r == nil || r == busyMarker {
+				w.slot.CompareAndSwap(busyMarker, nil)
+				break
 			}
-		}()
+			mBusy.Add(1)
+			r.drain()
+			mBusy.Add(-1)
+			r.wg.Done()
+		}
 	}
 }
 
@@ -108,17 +175,31 @@ func Parallel(n, workers int, fn func(int)) {
 	r.next.Store(0)
 	r.n = int64(n)
 	r.fn = fn
-offer:
-	for i := 0; i < workers-1; i++ {
+
+	// Offer the run to up to workers-1 idle workers, one CAS each,
+	// starting at a random index so concurrent submitters spread across
+	// the pool instead of all hammering worker 0's cache line.
+	ws := *workersPtr.Load()
+	want := workers - 1
+	placed := 0
+	off := int(rand.Uint32N(uint32(len(ws))))
+	for i := 0; i < len(ws) && placed < want; i++ {
+		w := ws[(off+i)%len(ws)]
 		r.wg.Add(1)
-		select {
-		case submit <- r:
-		default:
-			// Pool saturated: the caller will cover the remaining tasks.
-			mSaturated.Inc()
+		if w.slot.CompareAndSwap(nil, r) {
+			placed++
+			select {
+			case w.note <- struct{}{}:
+			default:
+			}
+		} else {
 			r.wg.Done()
-			break offer
 		}
+	}
+	if placed < want {
+		// Every remaining worker was busy or had a pending run: the
+		// caller covers the outstanding tasks itself.
+		mSaturated.Inc()
 	}
 	r.drain()
 	r.wg.Wait()

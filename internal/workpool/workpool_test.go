@@ -56,3 +56,78 @@ func TestParallelNested(t *testing.T) {
 		t.Fatalf("nested tasks ran %d times, want 64", total.Load())
 	}
 }
+
+// TestParallelNestedSaturated floods the pool so every worker is draining
+// while nested calls keep arriving; with mailbox submission every offer
+// must either land on an idle worker or bounce back to the caller, never
+// to the caller's own worker. Completion is the assertion — a self-offer
+// would hang this test.
+func TestParallelNestedSaturated(t *testing.T) {
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				Parallel(6, 8, func(int) {
+					Parallel(6, 8, func(int) {
+						Parallel(4, 8, func(int) { total.Add(1) })
+					})
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(8 * 10 * 6 * 6 * 4); total.Load() != want {
+		t.Fatalf("tasks ran %d times, want %d", total.Load(), want)
+	}
+}
+
+// TestEnsureGrowsPool verifies Ensure is grow-only and that Parallel keeps
+// running every task exactly once after a grow.
+func TestEnsureGrowsPool(t *testing.T) {
+	Ensure(1)
+	before := len(*workersPtr.Load())
+	Ensure(before + 3)
+	if got := len(*workersPtr.Load()); got != before+3 {
+		t.Fatalf("pool has %d workers after Ensure(%d), want %d", got, before+3, before+3)
+	}
+	Ensure(2) // shrink request: no-op
+	if got := len(*workersPtr.Load()); got != before+3 {
+		t.Fatalf("Ensure(2) shrank the pool to %d workers", got)
+	}
+	hits := make([]int32, 100)
+	Parallel(100, before+3, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("task %d ran %d times after grow", i, h)
+		}
+	}
+}
+
+// BenchmarkParallelNested measures submission overhead under nested
+// saturation: every iteration is an outer run whose tasks each start an
+// inner run, so offers constantly hit busy workers. Run with
+// -cpu 1,2,4,8 to see how submission scales with GOMAXPROCS.
+func BenchmarkParallelNested(b *testing.B) {
+	var sink atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			Parallel(4, 4, func(int) {
+				Parallel(4, 4, func(int) { sink.Add(1) })
+			})
+		}
+	})
+}
+
+// BenchmarkParallelSubmit measures the bare submission round-trip (tiny
+// tasks, so pool handoff dominates). Run with -cpu 1,2,4,8.
+func BenchmarkParallelSubmit(b *testing.B) {
+	var sink atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			Parallel(8, 4, func(i int) { sink.Add(int64(i)) })
+		}
+	})
+}

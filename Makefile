@@ -2,13 +2,13 @@ GO ?= go
 
 # Packages whose hot paths share mutable buffers across goroutines; these run
 # under the race detector in addition to the normal suite.
-RACE_PKGS = ./internal/codeplan ./internal/workpool ./internal/matrix ./internal/carousel ./internal/blockserver ./internal/faultnet ./internal/dfs ./internal/retry ./internal/obs ./internal/bufpool ./internal/stream
+RACE_PKGS = ./internal/codeplan ./internal/workpool ./internal/matrix ./internal/carousel ./internal/blockserver ./internal/faultnet ./internal/dfs ./internal/retry ./internal/obs ./internal/bufpool ./internal/stream ./internal/master
 
 # Packages on the fault-tolerant block path: run twice under the race
 # detector to shake out order-dependent leaks and redial races.
 FAULT_PKGS = ./internal/blockserver ./internal/dfs ./internal/faultnet
 
-.PHONY: check vet build test race race-tiers faults bench bench-net bench-recovery bench-sweep obs
+.PHONY: check vet build test race race-tiers faults master bench bench-net bench-recovery bench-sweep obs
 
 check: vet build test race
 
@@ -35,6 +35,15 @@ race-tiers:
 # and crash-mid-read over real TCP, twice, race-enabled.
 faults:
 	$(GO) test -race -count=2 $(FAULT_PKGS)
+
+# The self-healing control plane: membership/journal/scheduler unit
+# tests, the kill-a-node and restart-resume e2e suites, and the
+# short-mode chaos test (faultnet-partitioned heartbeats walk a member
+# alive -> suspect -> dead -> back with no spurious rebuild), all
+# race-enabled over real TCP.
+master:
+	$(GO) test -race -count=2 ./internal/master
+	$(GO) test -race -short -count=1 -run 'TestChaosHeartbeatPartition' ./internal/master
 
 # Regenerate the coding microbenchmarks and the JSON snapshot.
 bench:

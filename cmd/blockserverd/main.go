@@ -19,9 +19,15 @@
 //	blockserverd -fault-cut-after 1048576  # drop conns after 1 MiB
 //	blockserverd -fault-partition 10.0.0.7 # reject conns from a peer
 //
+// With -master set the daemon joins a carouselmaster control plane:
+// register on startup, heartbeat (piggybacking capacity and corrupt-serve
+// counters) at the master-acked interval with jittered reconnect backoff,
+// and deregister on SIGINT/SIGTERM so shutdown is a clean drain instead of
+// a detected failure.
+//
 // Usage:
 //
-//	blockserverd [-addr 127.0.0.1:7070] [-obs-addr 127.0.0.1:7071] [-n 12 -k 6 -d 10 -p 12] [-fault-...]
+//	blockserverd [-addr 127.0.0.1:7070] [-master 127.0.0.1:7060] [-advertise host:port] [-obs-addr 127.0.0.1:7071] [-n 12 -k 6 -d 10 -p 12] [-fault-...]
 package main
 
 import (
@@ -36,11 +42,14 @@ import (
 	"carousel/internal/blockserver"
 	"carousel/internal/carousel"
 	"carousel/internal/faultnet"
+	"carousel/internal/master"
 	"carousel/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	masterAddr := flag.String("master", "", "carouselmaster control-plane address; empty runs unmanaged")
+	advertise := flag.String("advertise", "", "block-service address to register with the master (default: the bound listen address)")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP address (/metrics, /debug/vars, /debug/pprof, /debug/traces); empty disables")
 	verbose := flag.Bool("v", false, "debug-level logging")
 	n := flag.Int("n", 12, "total blocks per stripe")
@@ -106,10 +115,37 @@ func main() {
 			"cut_after", *faultCutAfter, "partition", *faultPartition)
 	}
 
+	// With a master configured, run the membership side of the control
+	// plane: register, then heartbeat with piggybacked capacity and health
+	// counters, reconnecting with jittered backoff when the master is away.
+	var hb *master.Heartbeater
+	if *masterAddr != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = bound
+		}
+		hb = master.NewHeartbeater(master.HeartbeatConfig{
+			Master: *masterAddr,
+			Addr:   adv,
+			Info: func() master.NodeInfo {
+				blocks, bytes, corrupt := srv.Stats()
+				return master.NodeInfo{Addr: adv, Blocks: blocks, BlockBytes: bytes, CorruptServes: corrupt}
+			},
+		})
+		hb.Start()
+		log.Info("heartbeating", "master", *masterAddr, "advertise", adv)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Info("shutting down")
+	if hb != nil {
+		// Deregister first — a clean drain: the master moves this node's
+		// blocks immediately instead of waiting out the suspect window.
+		hb.Stop()
+		log.Info("deregistered from master")
+	}
 	// Close stops accepting, cancels in-flight connections, and joins
 	// every handler; bound it so a wedged socket cannot hang shutdown.
 	done := make(chan error, 1)

@@ -9,6 +9,10 @@
 //	carouselctl decode <out-dir> <output-file>
 //	carouselctl repair -block <i> <out-dir>
 //	carouselctl stats  -addrs host:port,host:port,...
+//	carouselctl cluster status [-master host:port]
+//	carouselctl cluster drain  [-master host:port] <member-addr>
+//	carouselctl cluster put    [-master host:port] [-name stored-name] <file>
+//	carouselctl cluster get    [-master host:port] <stored-name> <out-file>
 //
 // encode writes out-dir/block_NNN.bin plus a manifest.json recording the
 // code parameters and the original size. decode tolerates up to n-k
@@ -59,6 +63,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
 	default:
 		usage()
 	}
@@ -79,7 +85,12 @@ const (
 	exitCorrupt         = 4
 	exitTimeout         = 5
 	exitTooFewSurvivors = 6
+	exitPartialStats    = 7
 )
+
+// errPartialStats marks a stats scrape that merged some nodes but not all:
+// the output is usable, the cluster view is incomplete.
+var errPartialStats = errors.New("partial stats")
 
 // exitCode maps an error to the process exit code via errors.Is, so
 // wrapped and joined errors classify the same as bare sentinels. Order
@@ -98,6 +109,8 @@ func exitCode(err error) int {
 		return exitNotFound
 	case errors.Is(err, blockserver.ErrTimeout):
 		return exitTimeout
+	case errors.Is(err, errPartialStats):
+		return exitPartialStats
 	default:
 		return exitFailure
 	}
@@ -110,7 +123,11 @@ func usage() {
   carouselctl decode <out-dir> <output-file>
   carouselctl repair -block <i> <out-dir>
   carouselctl verify <out-dir>
-  carouselctl stats  -addrs host:port,host:port,... [-raw]`)
+  carouselctl stats  -addrs host:port,host:port,... [-raw]
+  carouselctl cluster status [-master host:port]
+  carouselctl cluster drain  [-master host:port] <member-addr>
+  carouselctl cluster put    [-master host:port] [-name stored-name] <file>
+  carouselctl cluster get    [-master host:port] <stored-name> <out-file>`)
 	os.Exit(2)
 }
 

@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"carousel/internal/blockserver"
 	"carousel/internal/carousel"
+	"carousel/internal/obs"
 )
 
 // writeInput creates a temporary input file and returns its path plus the
@@ -183,10 +185,50 @@ func TestExitCode(t *testing.T) {
 		// Corruption is reported even when it also caused a survivor
 		// shortfall: the more actionable diagnosis wins.
 		{"corrupt-and-short", errors.Join(blockserver.ErrCorrupt, blockserver.ErrTooFewSurvivors), exitCorrupt},
+		{"partial-stats", fmt.Errorf("%w: 1 of 3 node(s) unreachable", errPartialStats), exitPartialStats},
 	}
 	for _, tc := range cases {
 		if got := exitCode(tc.err); got != tc.want {
 			t.Errorf("%s: exitCode(%v) = %d, want %d", tc.name, tc.err, got, tc.want)
 		}
+	}
+}
+
+// TestStatsPartialMerge: a scrape with one live endpoint and one
+// unreachable node must still merge the reachable side and return the
+// partial-stats sentinel (exit code 7), while an all-dead scrape fails
+// outright with exit code 1.
+func TestStatsPartialMerge(t *testing.T) {
+	addr, stop, err := obs.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// A port from a closed listener: reliably unreachable.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	err = cmdStats([]string{"-addrs", addr + "," + deadAddr})
+	if !errors.Is(err, errPartialStats) {
+		t.Fatalf("partial scrape error = %v, want errPartialStats", err)
+	}
+	if got := exitCode(err); got != exitPartialStats {
+		t.Fatalf("partial scrape exit = %d, want %d", got, exitPartialStats)
+	}
+
+	if err := cmdStats([]string{"-addrs", addr}); err != nil {
+		t.Fatalf("fully-reachable scrape: %v", err)
+	}
+
+	err = cmdStats([]string{"-addrs", deadAddr})
+	if err == nil || errors.Is(err, errPartialStats) {
+		t.Fatalf("all-unreachable scrape error = %v, want plain failure", err)
+	}
+	if got := exitCode(err); got != exitFailure {
+		t.Fatalf("all-unreachable exit = %d, want %d", got, exitFailure)
 	}
 }

@@ -30,7 +30,15 @@ func cmdStats(args []string) error {
 	}
 	merged := obs.NewSnapshot()
 	client := &http.Client{Timeout: *timeout}
-	scraped := 0
+	// An unreachable node degrades the scrape instead of failing it: the
+	// reachable nodes still merge, every node gets a status row, and the
+	// distinct exit code tells scripts the view is partial.
+	type nodeResult struct {
+		addr string
+		err  error
+	}
+	var results []nodeResult
+	scraped, failed := 0, 0
 	for _, a := range strings.Split(*addrs, ",") {
 		a = strings.TrimSpace(a)
 		if a == "" {
@@ -38,18 +46,41 @@ func cmdStats(args []string) error {
 		}
 		snap, err := scrape(client, a)
 		if err != nil {
-			return fmt.Errorf("scraping %s: %w", a, err)
+			results = append(results, nodeResult{a, err})
+			failed++
+			continue
 		}
 		merged.Merge(snap)
+		results = append(results, nodeResult{a, nil})
 		scraped++
 	}
-	if scraped == 0 {
+	if scraped == 0 && failed == 0 {
 		usage()
 	}
-	if *raw {
-		return obs.WriteText(os.Stdout, merged)
+	if scraped == 0 {
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "  %-28s ERROR: %v\n", r.addr, r.err)
+		}
+		return fmt.Errorf("all %d node(s) unreachable", failed)
 	}
-	printStats(merged, scraped)
+	if *raw {
+		if err := obs.WriteText(os.Stdout, merged); err != nil {
+			return err
+		}
+	} else {
+		printStats(merged, scraped)
+		fmt.Printf("\nnodes\n")
+		for _, r := range results {
+			if r.err != nil {
+				fmt.Printf("  %-28s ERROR: %v\n", r.addr, r.err)
+			} else {
+				fmt.Printf("  %-28s ok\n", r.addr)
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%w: %d of %d node(s) unreachable", errPartialStats, failed, scraped+failed)
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"carousel/internal/bufpool"
 	"carousel/internal/carousel"
@@ -169,6 +170,10 @@ type storedBlock struct {
 type Server struct {
 	code *carousel.Code // may be nil: chunk requests are then rejected
 
+	// corruptServes counts requests answered with a corrupt verdict —
+	// per-server bit-rot pressure, piggybacked on control-plane heartbeats.
+	corruptServes atomic.Int64
+
 	mu     sync.RWMutex
 	blocks map[string]storedBlock
 
@@ -307,6 +312,7 @@ func (s *Server) load(name []byte) (storedBlock, byte) {
 		return storedBlock{}, statusNotFound
 	}
 	if Checksum(b.data) != b.crc {
+		s.corruptServes.Add(1)
 		return storedBlock{}, statusCorrupt
 	}
 	return b, statusOK
@@ -423,6 +429,18 @@ func (s *Server) BlockCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.blocks)
+}
+
+// Stats reports this server's stored capacity and corrupt-serve count —
+// the health snapshot the control-plane heartbeat piggybacks.
+func (s *Server) Stats() (blocks int64, bytes int64, corruptServes int64) {
+	s.mu.RLock()
+	blocks = int64(len(s.blocks))
+	for _, b := range s.blocks {
+		bytes += int64(len(b.data))
+	}
+	s.mu.RUnlock()
+	return blocks, bytes, s.corruptServes.Load()
 }
 
 // CorruptBlock flips a byte of a stored block without updating its CRC — a

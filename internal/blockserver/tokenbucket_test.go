@@ -1,0 +1,165 @@
+package blockserver
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTokenBucketNilNeverWaits: the unthrottled path is a nil bucket, and
+// it must be free.
+func TestTokenBucketNilNeverWaits(t *testing.T) {
+	var tb *tokenBucket
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // even a dead context must not surface: nil means no budget
+	start := time.Now()
+	if err := tb.Wait(ctx, 1<<30); err != nil {
+		t.Fatalf("nil bucket Wait: %v", err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("nil bucket waited %v", d)
+	}
+}
+
+// TestTokenBucketBurstIsFree: charges within the banked burst return
+// without sleeping — the first repair of a pass never stalls.
+func TestTokenBucketBurstIsFree(t *testing.T) {
+	tb := newTokenBucket(1024, 4096)
+	start := time.Now()
+	if err := tb.Wait(context.Background(), 4096); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("burst-covered charge slept %v", d)
+	}
+}
+
+// TestTokenBucketDeficitAccounting: charging past the burst drives the
+// balance negative, and the sleep pays exactly the deficit off at the
+// configured rate.
+func TestTokenBucketDeficitAccounting(t *testing.T) {
+	// 1 MiB/s with a 1 KiB burst (raised to rate/4 = 256 KiB by the
+	// constructor floor).
+	rate := int64(1 << 20)
+	tb := newTokenBucket(rate, 1024)
+	if tb.burst != float64(rate)/4 {
+		t.Fatalf("burst floor: got %v, want %v", tb.burst, float64(rate)/4)
+	}
+	// Drain the bank, then charge 128 KiB beyond it: the deficit is 128 KiB
+	// at 1 MiB/s = 125ms.
+	if err := tb.Wait(context.Background(), int(tb.burst)); err != nil {
+		t.Fatalf("draining charge: %v", err)
+	}
+	start := time.Now()
+	if err := tb.Wait(context.Background(), 128<<10); err != nil {
+		t.Fatalf("deficit charge: %v", err)
+	}
+	elapsed := time.Since(start)
+	want := 125 * time.Millisecond
+	if elapsed < want/2 || elapsed > 4*want {
+		t.Fatalf("deficit sleep: got %v, want ~%v", elapsed, want)
+	}
+	tb.mu.Lock()
+	tokens := tb.tokens
+	tb.mu.Unlock()
+	// The balance went negative at charge time; Wait slept the deficit off
+	// but does not refill until the next charge observes the elapsed time.
+	if tokens > 0 {
+		t.Fatalf("balance after deficit charge: got %v, want <= 0", tokens)
+	}
+}
+
+// TestTokenBucketCancelMidSleep: a context canceled while sleeping off a
+// deficit surfaces promptly as a classified error instead of finishing the
+// sleep.
+func TestTokenBucketCancelMidSleep(t *testing.T) {
+	// 1 KiB/s: a 64 KiB overcharge would sleep for about a minute.
+	tb := newTokenBucket(1024, 1)
+	if err := tb.Wait(context.Background(), int(tb.burst)); err != nil {
+		t.Fatalf("draining charge: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- tb.Wait(ctx, 64<<10) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled Wait: got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait did not return after cancellation")
+	}
+}
+
+// TestTokenBucketDeadlineMidSleep: a deadline expiring mid-sleep
+// classifies as the block path's timeout sentinel, so callers can tell a
+// throttle-starved pass from a dead helper.
+func TestTokenBucketDeadlineMidSleep(t *testing.T) {
+	tb := newTokenBucket(1024, 1)
+	if err := tb.Wait(context.Background(), int(tb.burst)); err != nil {
+		t.Fatalf("draining charge: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := tb.Wait(ctx, 64<<10)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("deadline Wait: got %v, want ErrTimeout", err)
+	}
+}
+
+// TestTokenBucketBurstOneRepair: the RecoverServer wiring sizes burst to
+// one repair's bytes, so exactly one repair proceeds immediately and the
+// next charge of the same size pays a full repair's worth of sleep —
+// pacing at repair granularity. Concurrent chargers (run with -race)
+// exercise the lock.
+func TestTokenBucketBurstOneRepair(t *testing.T) {
+	repairBytes := 32 << 10
+	rate := int64(4 * repairBytes) // 4 repairs/sec → 250ms per repair
+	tb := newTokenBucket(rate, repairBytes)
+	// burst = max(repairBytes, rate/4) = repairBytes here.
+	if tb.burst != float64(repairBytes) {
+		t.Fatalf("burst: got %v, want %v", tb.burst, repairBytes)
+	}
+	start := time.Now()
+	if err := tb.Wait(context.Background(), repairBytes); err != nil {
+		t.Fatalf("first repair charge: %v", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("first repair slept %v, want immediate", d)
+	}
+	// A second identical charge must sleep about one repair interval
+	// (250ms).
+	start = time.Now()
+	if err := tb.Wait(context.Background(), repairBytes); err != nil {
+		t.Fatalf("second repair charge: %v", err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("second repair slept only %v, want ~250ms", d)
+	}
+
+	// Concurrent charges against one bucket: the long-run pace bounds the
+	// total elapsed time from below.
+	tb = newTokenBucket(rate, repairBytes)
+	const chargers = 4
+	start = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < chargers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := tb.Wait(context.Background(), repairBytes); err != nil {
+				t.Errorf("concurrent charge: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	// 4 charges against a 1-repair burst at 4 repairs/sec: at least ~3
+	// repair intervals of pacing must have elapsed for the slowest charger.
+	if d := time.Since(start); d < 300*time.Millisecond {
+		t.Fatalf("%d concurrent repairs finished in %v, want >= 300ms of pacing", chargers, d)
+	}
+}

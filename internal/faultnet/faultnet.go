@@ -121,6 +121,16 @@ func (l *listener) Accept() (net.Conn, error) {
 	}
 }
 
+// WrapConn applies the injector's policies to one already-established
+// connection — the client-side counterpart of Wrap, for chaos tests that
+// need to partition an outbound control or heartbeat connection without
+// touching the server's listener. The injected policy is resolved against
+// the connection's remote address, so per-peer overrides target the
+// server being dialed.
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	return &conn{Conn: c, in: in, closed: make(chan struct{})}
+}
+
 // conn applies the injector's live policy on every Read/Write.
 type conn struct {
 	net.Conn

@@ -1,0 +1,155 @@
+package master
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// ClientOptions tunes a control-plane client.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each request/response round trip (default 10s).
+	IOTimeout time.Duration
+	// Dial replaces net.DialTimeout, for fault-injection tests that wrap
+	// the client side of the connection.
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
+}
+
+func (o *ClientOptions) withDefaults() ClientOptions {
+	var out ClientOptions
+	if o != nil {
+		out = *o
+	}
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 5 * time.Second
+	}
+	if out.IOTimeout <= 0 {
+		out.IOTimeout = 10 * time.Second
+	}
+	if out.Dial == nil {
+		out.Dial = net.DialTimeout
+	}
+	return out
+}
+
+// Client speaks the control protocol to one master over a single
+// persistent connection, redialing lazily after any I/O failure. Not safe
+// for concurrent use — the heartbeater owns one, carouselctl another.
+type Client struct {
+	addr string
+	opts ClientOptions
+	conn net.Conn
+}
+
+// NewClient returns a client for the master at addr. No connection is made
+// until the first call.
+func NewClient(addr string, opts *ClientOptions) *Client {
+	return &Client{addr: addr, opts: opts.withDefaults()}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// poison drops a connection that failed mid-exchange; the next call
+// redials.
+func (c *Client) poison() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// roundTrip sends one request and decodes the reply into out (which may be
+// nil). Any transport failure poisons the connection.
+func (c *Client) roundTrip(op byte, body, out any) error {
+	if c.conn == nil {
+		conn, err := c.opts.Dial("tcp", c.addr, c.opts.DialTimeout)
+		if err != nil {
+			return err
+		}
+		c.conn = conn
+	}
+	deadline := time.Now().Add(c.opts.IOTimeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		c.poison()
+		return err
+	}
+	if err := writeMsg(c.conn, op, body); err != nil {
+		c.poison()
+		return err
+	}
+	var raw []byte
+	status, err := readRaw(c.conn, &raw)
+	if err != nil {
+		c.poison()
+		return err
+	}
+	if status == statusError {
+		var eb errorBody
+		if err := decode(raw, &eb); err != nil {
+			c.poison()
+			return err
+		}
+		// In-band errors leave the connection healthy.
+		return fmt.Errorf("%w: %s", ErrRemote, eb.Error)
+	}
+	if out != nil {
+		if err := decode(raw, out); err != nil {
+			c.poison()
+			return err
+		}
+	}
+	return nil
+}
+
+// Register announces a blockserver to the master.
+func (c *Client) Register(info NodeInfo) (RegisterAck, error) {
+	var ack RegisterAck
+	err := c.roundTrip(opRegister, info, &ack)
+	return ack, err
+}
+
+// Heartbeat reports liveness plus current capacity and health counters.
+func (c *Client) Heartbeat(info NodeInfo) (RegisterAck, error) {
+	var ack RegisterAck
+	err := c.roundTrip(opHeartbeat, info, &ack)
+	return ack, err
+}
+
+// Deregister announces a clean departure (daemon shutdown): the master
+// skips the suspect window and moves the member's blocks immediately.
+func (c *Client) Deregister(addr string) error {
+	return c.roundTrip(opDeregister, NodeInfo{Addr: addr}, nil)
+}
+
+// Place assigns (or looks up) a file placement.
+func (c *Client) Place(req PlaceRequest) (PlaceReply, error) {
+	var rep PlaceReply
+	err := c.roundTrip(opPlace, req, &rep)
+	return rep, err
+}
+
+// Status fetches the cluster view.
+func (c *Client) Status() (*ClusterStatus, error) {
+	var cs ClusterStatus
+	if err := c.roundTrip(opStatus, struct{}{}, &cs); err != nil {
+		return nil, err
+	}
+	return &cs, nil
+}
+
+// Drain asks the master to move a member's blocks off.
+func (c *Client) Drain(addr string) (DrainReply, error) {
+	var rep DrainReply
+	err := c.roundTrip(opDrain, DrainRequest{Addr: addr}, &rep)
+	return rep, err
+}

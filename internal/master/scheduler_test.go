@@ -1,0 +1,275 @@
+package master
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collectPersist records persistence callbacks for assertions.
+type collectPersist struct {
+	mu     sync.Mutex
+	states []string
+	ckpts  []int
+}
+
+func (p *collectPersist) hooks() taskPersist {
+	return taskPersist{
+		onState: func(id uint64, state, errMsg string) {
+			p.mu.Lock()
+			p.states = append(p.states, state)
+			p.mu.Unlock()
+		},
+		onCkpt: func(id uint64, done int, blocks int64) {
+			p.mu.Lock()
+			p.ckpts = append(p.ckpts, done)
+			p.mu.Unlock()
+		},
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+// TestSchedulerRunsAndCheckpoints: a task's items run in order, each one
+// checkpointed, and the task ends done.
+func TestSchedulerRunsAndCheckpoints(t *testing.T) {
+	var ran []string
+	var mu sync.Mutex
+	p := &collectPersist{}
+	s := newScheduler(map[TaskClass]int{ClassRecover: 1},
+		func(ctx context.Context, task *Task, item TaskItem) (int64, error) {
+			mu.Lock()
+			ran = append(ran, item.File)
+			mu.Unlock()
+			return 3, nil
+		}, p.hooks())
+	s.Start()
+	defer s.Close()
+	s.Submit(&Task{ID: 1, Class: ClassRecover, State: TaskPending,
+		Items: []TaskItem{{File: "a"}, {File: "b"}, {File: "c"}}})
+	waitFor(t, 5*time.Second, func() bool {
+		for _, task := range s.Snapshot() {
+			if task.ID == 1 && task.State == TaskDone {
+				return true
+			}
+		}
+		return false
+	}, "task done")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) != 3 || ran[0] != "a" || ran[2] != "c" {
+		t.Fatalf("items ran: %v", ran)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ckpts) != 3 || p.ckpts[2] != 3 {
+		t.Fatalf("checkpoints persisted: %v", p.ckpts)
+	}
+	for _, task := range s.Snapshot() {
+		if task.ID == 1 && task.BlocksRepaired != 9 {
+			t.Fatalf("blocks repaired = %d, want 9", task.BlocksRepaired)
+		}
+	}
+}
+
+// TestSchedulerResumeFromCheckpoint: a restored task (running state, mid
+// checkpoint) re-enters as pending and runs only its remaining items —
+// resume, not restart.
+func TestSchedulerResumeFromCheckpoint(t *testing.T) {
+	var ran []string
+	var mu sync.Mutex
+	p := &collectPersist{}
+	s := newScheduler(map[TaskClass]int{ClassRecover: 1},
+		func(ctx context.Context, task *Task, item TaskItem) (int64, error) {
+			mu.Lock()
+			ran = append(ran, item.File)
+			mu.Unlock()
+			return 1, nil
+		}, p.hooks())
+	s.Start()
+	defer s.Close()
+	// As restored from a journal: worker died after completing 2 of 4.
+	s.Submit(&Task{ID: 7, Class: ClassRecover, State: TaskRunning, Checkpoint: 2, BlocksRepaired: 20,
+		Items: []TaskItem{{File: "a"}, {File: "b"}, {File: "c"}, {File: "d"}}})
+	waitFor(t, 5*time.Second, func() bool {
+		for _, task := range s.Snapshot() {
+			if task.ID == 7 && task.State == TaskDone {
+				return true
+			}
+		}
+		return false
+	}, "resumed task done")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) != 2 || ran[0] != "c" || ran[1] != "d" {
+		t.Fatalf("resume ran %v, want [c d]", ran)
+	}
+	for _, task := range s.Snapshot() {
+		if task.ID == 7 && task.BlocksRepaired != 22 {
+			t.Fatalf("cumulative blocks = %d, want 22", task.BlocksRepaired)
+		}
+	}
+}
+
+// TestSchedulerClassCapsAndPriority: per-class caps bound concurrency
+// (the over-cap recover queues while the scrub's own slot stays usable),
+// and the pending queue sorts recover ahead of scrub so a freed slot goes
+// to the higher-priority class first.
+func TestSchedulerClassCapsAndPriority(t *testing.T) {
+	var inflight, peak atomic.Int64
+	release := make(chan struct{})
+	s := newScheduler(map[TaskClass]int{ClassRecover: 2, ClassScrub: 1},
+		func(ctx context.Context, task *Task, item TaskItem) (int64, error) {
+			if task.Class == ClassRecover {
+				if v := inflight.Add(1); v > peak.Load() {
+					peak.Store(v)
+				}
+				defer inflight.Add(-1)
+			}
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return 0, nil
+		}, (&collectPersist{}).hooks())
+	s.Submit(&Task{ID: 1, Class: ClassScrub, State: TaskPending, Items: []TaskItem{{File: "s"}}})
+	s.Submit(&Task{ID: 2, Class: ClassRecover, State: TaskPending, Items: []TaskItem{{File: "r1"}}})
+	s.Submit(&Task{ID: 3, Class: ClassRecover, State: TaskPending, Items: []TaskItem{{File: "r2"}}})
+	s.Submit(&Task{ID: 4, Class: ClassRecover, State: TaskPending, Items: []TaskItem{{File: "r3"}}})
+	s.Start()
+	defer s.Close()
+
+	// Caps: 2 recovers + 1 scrub run, the third recover (FIFO within its
+	// class) queues.
+	waitFor(t, 5*time.Second, func() bool {
+		_, running := s.Counts()
+		return running == 3
+	}, "3 tasks running")
+	pending, _ := s.Counts()
+	if pending != 1 {
+		t.Fatalf("pending = %d, want 1 (third recover over the cap)", pending)
+	}
+	for _, task := range s.Snapshot() {
+		if task.State == TaskPending && task.ID != 4 {
+			t.Fatalf("queued task is %d, want 4 (FIFO within class)", task.ID)
+		}
+	}
+	// Priority: with both classes waiting and both at cap, dispatch sorts
+	// the queue recover-first — recovers take the next freed slots ahead of
+	// the scrub even though the scrub was enqueued earlier.
+	s.mu.Lock()
+	s.pending = append(s.pending,
+		&Task{ID: 10, Class: ClassScrub, State: TaskPending},
+		&Task{ID: 11, Class: ClassRecover, State: TaskPending})
+	s.mu.Unlock()
+	s.dispatch()
+	s.mu.Lock()
+	ids := make([]uint64, len(s.pending))
+	for i, p := range s.pending {
+		ids[i] = p.ID
+	}
+	// Queue was [4(recover) 10(scrub) 11(recover)]; sorted: [4 11 10].
+	if len(ids) != 3 || ids[0] != 4 || ids[1] != 11 || ids[2] != 10 {
+		s.mu.Unlock()
+		t.Fatalf("priority sort: queue %v, want [4 11 10]", ids)
+	}
+	// Drop the synthetic tasks so the drain below completes.
+	s.pending = s.pending[:1]
+	delete(s.tasks, 10)
+	delete(s.tasks, 11)
+	s.mu.Unlock()
+	close(release)
+	waitFor(t, 5*time.Second, func() bool {
+		p, r := s.Counts()
+		return p == 0 && r == 0
+	}, "queue drained")
+	if got := peak.Load(); got > 2 {
+		t.Fatalf("recover concurrency peaked at %d, cap is 2", got)
+	}
+	if s.HasActive(ClassRecover) || s.HasActive(ClassScrub) {
+		t.Fatal("HasActive after drain")
+	}
+}
+
+// TestSchedulerFailureStopsTask: an item error fails the task at its
+// checkpoint and later items do not run.
+func TestSchedulerFailureStopsTask(t *testing.T) {
+	var ran atomic.Int64
+	p := &collectPersist{}
+	boom := errors.New("helper exploded")
+	s := newScheduler(map[TaskClass]int{ClassRecover: 1},
+		func(ctx context.Context, task *Task, item TaskItem) (int64, error) {
+			ran.Add(1)
+			if item.File == "b" {
+				return 0, boom
+			}
+			return 1, nil
+		}, p.hooks())
+	s.Start()
+	defer s.Close()
+	s.Submit(&Task{ID: 1, Class: ClassRecover, State: TaskPending,
+		Items: []TaskItem{{File: "a"}, {File: "b"}, {File: "c"}}})
+	waitFor(t, 5*time.Second, func() bool {
+		for _, task := range s.Snapshot() {
+			if task.ID == 1 && task.State == TaskFailed {
+				return true
+			}
+		}
+		return false
+	}, "task failed")
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("items ran = %d, want 2 (c must not run)", got)
+	}
+	for _, task := range s.Snapshot() {
+		if task.ID == 1 {
+			if task.Checkpoint != 1 || task.Err == "" {
+				t.Fatalf("failed task: checkpoint=%d err=%q", task.Checkpoint, task.Err)
+			}
+		}
+	}
+}
+
+// TestSchedulerCloseMidTask: Close cancels a running item; the task keeps
+// its checkpoint and records no terminal state — the journal still says
+// running, which is what resume-on-restart keys off.
+func TestSchedulerCloseMidTask(t *testing.T) {
+	p := &collectPersist{}
+	started := make(chan struct{})
+	s := newScheduler(map[TaskClass]int{ClassRecover: 1},
+		func(ctx context.Context, task *Task, item TaskItem) (int64, error) {
+			if item.File == "b" {
+				close(started)
+				<-ctx.Done()
+				return 0, ctx.Err()
+			}
+			return 1, nil
+		}, p.hooks())
+	s.Start()
+	s.Submit(&Task{ID: 1, Class: ClassRecover, State: TaskPending,
+		Items: []TaskItem{{File: "a"}, {File: "b"}, {File: "c"}}})
+	<-started
+	s.Close()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ckpts) != 1 || p.ckpts[0] != 1 {
+		t.Fatalf("checkpoints at shutdown: %v, want [1]", p.ckpts)
+	}
+	for _, st := range p.states {
+		if st == TaskDone || st == TaskFailed {
+			t.Fatalf("canceled task reached terminal state %q", st)
+		}
+	}
+}

@@ -73,8 +73,11 @@ bench-recovery:
 	$(GO) run ./cmd/clusterbench -fig recovery -json
 
 # The observability layer: metric/span correctness under the race detector,
-# the degraded-read trace e2e, then a live 3-node cluster scrape.
+# the degraded-read and cross-node trace-stitching e2es, the master's
+# health roll-up and control-plane trace suites, then a live scrape of
+# both a standalone 3-node cluster and a master-managed one.
 obs:
 	$(GO) test -race ./internal/obs
-	$(GO) test -race -run 'TestDegradedReadObservability|TestReadStatsCountsAllCorruptVerdicts' ./internal/blockserver
+	$(GO) test -race -run 'TestDegradedReadObservability|TestReadStatsCountsAllCorruptVerdicts|TestCrossNodeTraceStitching|TestTracePropagationVersionTolerance' ./internal/blockserver
+	$(GO) test -race -run 'TestBeatHealthRollup|TestClusterRollupGauges|TestControlTraceContext' ./internal/master
 	./scripts/obscheck.sh

@@ -99,8 +99,10 @@ func main() {
 		os.Exit(1)
 	}
 	log.Info("serving", "n", *n, "k", *k, "d", *d, "p", *p, "addr", bound)
+	obsBound := ""
 	if *obsAddr != "" {
-		obsBound, stopObs, err := obs.Serve(*obsAddr)
+		var stopObs func() error
+		obsBound, stopObs, err = obs.Serve(*obsAddr)
 		if err != nil {
 			log.Error("observability endpoint failed", "addr", *obsAddr, "err", err)
 			os.Exit(1)
@@ -129,7 +131,15 @@ func main() {
 			Addr:   adv,
 			Info: func() master.NodeInfo {
 				blocks, bytes, corrupt := srv.Stats()
-				return master.NodeInfo{Addr: adv, Blocks: blocks, BlockBytes: bytes, CorruptServes: corrupt}
+				p99, depth, tx := srv.ObsSummary()
+				return master.NodeInfo{
+					Addr: adv, Blocks: blocks, BlockBytes: bytes, CorruptServes: corrupt,
+					ObsAddr:        obsBound,
+					RPCP99NS:       p99,
+					QueueDepth:     depth,
+					BytesTx:        tx,
+					ErrorBudgetPPM: obs.Default().MinErrorBudgetRemainingPPM(),
+				}
 			},
 		})
 		hb.Start()

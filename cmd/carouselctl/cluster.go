@@ -142,6 +142,7 @@ func cmdClusterGet(args []string) error {
 	}
 	fmt.Printf("got %s: %d bytes -> %s (%d stripes parallel, %d fallback)\n",
 		fileName, len(data), outPath, stats.StripesParallel, stats.StripesFallback)
+	fmt.Printf("trace %d (carouselctl trace -master %s %d)\n", stats.TraceID, *masterAddr, stats.TraceID)
 	return nil
 }
 

@@ -9,6 +9,8 @@
 //	carouselctl decode <out-dir> <output-file>
 //	carouselctl repair -block <i> <out-dir>
 //	carouselctl stats  -addrs host:port,host:port,...
+//	carouselctl trace  [-addrs ...] [-master host:port] <trace-id>
+//	carouselctl top    [-master host:port] [-interval 2s] [-count N]
 //	carouselctl cluster status [-master host:port]
 //	carouselctl cluster drain  [-master host:port] <member-addr>
 //	carouselctl cluster put    [-master host:port] [-name stored-name] <file>
@@ -63,6 +65,10 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "cluster":
 		err = cmdCluster(os.Args[2:])
 	default:
@@ -124,6 +130,8 @@ func usage() {
   carouselctl repair -block <i> <out-dir>
   carouselctl verify <out-dir>
   carouselctl stats  -addrs host:port,host:port,... [-raw]
+  carouselctl trace  [-addrs host:port,...] [-master host:port] <trace-id>
+  carouselctl top    [-master host:port] [-interval 2s] [-count N]
   carouselctl cluster status [-master host:port]
   carouselctl cluster drain  [-master host:port] <member-addr>
   carouselctl cluster put    [-master host:port] [-name stored-name] <file>

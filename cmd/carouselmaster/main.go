@@ -80,12 +80,10 @@ func main() {
 		log.Error("master init failed", "err", err)
 		os.Exit(1)
 	}
-	if err := m.Start(*addr); err != nil {
-		log.Error("listen failed", "addr", *addr, "err", err)
-		os.Exit(1)
-	}
-	log.Info("control plane up", "addr", m.Addr(), "data", *dataDir,
-		"heartbeat", *heartbeat, "miss", *miss, "scrub_every", *scrubEvery)
+	// The obs endpoint starts first so its bound address can be advertised
+	// in the cluster status view: carouselctl trace and top discover the
+	// master's /metrics and /debug/traces through it. It serves the
+	// cluster_* roll-up gauges the master aggregates from heartbeats.
 	if *obsAddr != "" {
 		obsBound, stopObs, err := obs.Serve(*obsAddr)
 		if err != nil {
@@ -93,8 +91,15 @@ func main() {
 			os.Exit(1)
 		}
 		defer stopObs()
+		m.SetObsAddr(obsBound)
 		log.Info("observability endpoint up", "addr", obsBound)
 	}
+	if err := m.Start(*addr); err != nil {
+		log.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	log.Info("control plane up", "addr", m.Addr(), "data", *dataDir,
+		"heartbeat", *heartbeat, "miss", *miss, "scrub_every", *scrubEvery)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -29,7 +29,32 @@ var (
 	cliBytesRx   = obs.Default().Counter("blockserver_client_bytes_rx_total")
 	cliDials     = obs.Default().Counter("blockserver_client_dials_total")
 	cliConnsOpen = obs.Default().Gauge("blockserver_client_conns_open")
+	// cliRPCWindow is the sliding-window client-side RPC latency across all
+	// peers; its _p99 gauge is the read path's tail signal on /metrics.
+	cliRPCWindow = obs.Default().Window("blockserver_client_rpc_window_ns")
 )
+
+// peerEWMAs interns one latency EWMA per peer address, surfaced as the
+// blockserver_peer_ewma_ns{peer} gauge — the straggler detector: a peer
+// whose EWMA drifts far above the fleet's is hedging-fodder before it ever
+// times out. Interning registers the gauge func exactly once per peer.
+var (
+	peerEWMAMu sync.Mutex
+	peerEWMAs  = make(map[string]*obs.EWMA)
+)
+
+// peerEWMA returns (registering on first use) the latency EWMA of a peer.
+func peerEWMA(addr string) *obs.EWMA {
+	peerEWMAMu.Lock()
+	defer peerEWMAMu.Unlock()
+	e, ok := peerEWMAs[addr]
+	if !ok {
+		e = obs.NewEWMA(0.2)
+		peerEWMAs[addr] = e
+		obs.Default().GaugeFunc("blockserver_peer_ewma_ns", func() int64 { return int64(e.Value()) }, "peer", addr)
+	}
+	return e
+}
 
 // outcomeNames is the outcome label taxonomy, mirroring the sentinel
 // errors carouselctl turns into exit codes. outcomeIndex keeps the same
@@ -130,6 +155,17 @@ type Client struct {
 	opts Options
 	conn net.Conn
 	lat  *obs.Histogram // per-peer RPC latency, interned at construction
+	ewma *obs.EWMA      // per-peer latency EWMA (straggler detector), shared per addr
+
+	// traceCap is the peer's trace-propagation capability: 0 = not yet
+	// probed, 1 = peer answered opHello OK (send opTraceCtx frames),
+	// -1 = legacy peer (never send them). Probed lazily on the first traced
+	// request, so untraced workloads never pay the round trip.
+	traceCap int8
+	// traceID/traceParent stage the current exchange's trace context,
+	// captured from the context's span in do.
+	traceID     uint64
+	traceParent uint64
 
 	onDial func()       // pool hook, observed after every successful dial
 	dials  atomic.Int64 // successful dials (read concurrently by pool stats)
@@ -168,6 +204,7 @@ func NewClient(addr string, opts Options) *Client {
 		addr: addr,
 		opts: opts.withDefaults(),
 		lat:  obs.Default().Histogram("blockserver_client_rpc_ns", "peer", addr),
+		ewma: peerEWMA(addr),
 	}
 }
 
@@ -305,6 +342,14 @@ func (c *Client) stopWatcher() {
 // so the only per-call allocation left is the exchange closure itself.
 func (c *Client) do(ctx context.Context, op byte, exchange func(conn net.Conn) error) error {
 	start := time.Now()
+	// Stage the exchange's trace context: when the context carries a span,
+	// its IDs ride ahead of the request in an opTraceCtx frame (capability
+	// permitting) so the server's spans join the caller's trace.
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		c.traceID, c.traceParent = sp.TraceID(), sp.ID()
+	} else {
+		c.traceID, c.traceParent = 0, 0
+	}
 	attempts := c.opts.Retry.Attempts
 	if attempts < 1 {
 		attempts = 1
@@ -334,9 +379,14 @@ func (c *Client) do(ctx context.Context, op byte, exchange func(conn net.Conn) e
 		cliCorrupt.Inc()
 	}
 	rpcCounter(op, err).Inc()
+	elapsed := time.Since(start)
 	if c.lat != nil {
-		c.lat.ObserveSince(start)
+		c.lat.ObserveDuration(elapsed)
 	}
+	if c.ewma != nil {
+		c.ewma.Observe(float64(elapsed))
+	}
+	cliRPCWindow.ObserveDuration(elapsed)
 	return err
 }
 
@@ -352,7 +402,14 @@ func (c *Client) attempt(ctx context.Context, exchange func(conn net.Conn) error
 	}
 	conn.SetDeadline(deadline)
 	c.armWatcher(ctx, conn)
-	err = exchange(conn)
+	if c.traceID != 0 && c.traceCap == 0 {
+		// First traced request against this peer: probe whether it
+		// understands trace-context frames before emitting any.
+		err = c.probeHello(conn)
+	}
+	if err == nil {
+		err = exchange(conn)
+	}
 	c.disarmWatcher()
 	if err != nil {
 		if errors.Is(err, errFrameChecksum) {
@@ -372,12 +429,50 @@ func (c *Client) attempt(ctx context.Context, exchange func(conn net.Conn) error
 	return nil
 }
 
+// probeHello runs one opHello exchange on the connection and records the
+// peer's capability. An in-band error is an old peer answering "unknown
+// op" with its framing intact — propagation is off, the request proceeds
+// untraced. A transport error is returned for the usual poison/retry
+// machinery; the capability stays unprobed.
+func (c *Client) probeHello(conn net.Conn) error {
+	if err := c.beginRequest(opHello, "trace"); err != nil {
+		return err
+	}
+	if err := c.sendRequest(conn); err != nil {
+		return err
+	}
+	payload, err := c.readResponse(conn)
+	switch {
+	case err == nil:
+		c.traceCap = -1
+		if len(payload) == 1 && payload[0]&capTraceCtx != 0 {
+			c.traceCap = 1
+		}
+		bufpool.Put(payload)
+		return nil
+	case inBand(err):
+		c.traceCap = -1
+		return nil
+	default:
+		return err
+	}
+}
+
 // beginRequest resets the request scratch to op + length-prefixed name.
+// When a trace context is staged and the peer speaks opTraceCtx, the
+// reply-less trace frame is prepended so it and the request leave in the
+// same write.
 func (c *Client) beginRequest(op byte, name string) error {
 	if len(name) == 0 || len(name) > maxNameLen {
 		return fmt.Errorf("blockserver: invalid name length %d", len(name))
 	}
-	c.req = append(c.req[:0], op, byte(len(name)>>8), byte(len(name)))
+	c.req = c.req[:0]
+	if op != opHello && c.traceID != 0 && c.traceCap == 1 {
+		c.req = append(c.req, opTraceCtx, 0, traceCtxLen)
+		c.req = binary.BigEndian.AppendUint64(c.req, c.traceID)
+		c.req = binary.BigEndian.AppendUint64(c.req, c.traceParent)
+	}
+	c.req = append(c.req, op, byte(len(name)>>8), byte(len(name)))
 	c.req = append(c.req, name...)
 	return nil
 }

@@ -1,12 +1,14 @@
 package blockserver
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"carousel/internal/bufpool"
 	"carousel/internal/carousel"
@@ -23,6 +25,10 @@ var (
 	srvBlockBytes = obs.Default().Gauge("blockserver_server_block_bytes")
 	srvBytesTx    = obs.Default().Counter("blockserver_server_bytes_tx_total")
 	srvBytesRx    = obs.Default().Counter("blockserver_server_bytes_rx_total")
+	// srvRPCWindow is the sliding-window server-side request latency; its
+	// _p50/_p99/_p999 gauges on /metrics are what the cluster roll-up and
+	// carouselctl top read.
+	srvRPCWindow = obs.Default().Window("blockserver_server_rpc_window_ns")
 )
 
 // opName names a protocol opcode for the rpcs_total op label.
@@ -42,6 +48,10 @@ func opName(op byte) string {
 		return "stat"
 	case opVerify:
 		return "verify"
+	case opHello:
+		return "hello"
+	case opTraceCtx:
+		return "tracectx"
 	}
 	return "unknown"
 }
@@ -64,18 +74,18 @@ func statusName(st byte) string {
 // op byte off the wire still lands on a preallocated counter.
 var (
 	srvRPCOnce     sync.Once
-	srvRPCCounters [opVerify + 1][statusCorrupt + 1]*obs.Counter
+	srvRPCCounters [opTraceCtx + 1][statusCorrupt + 1]*obs.Counter
 )
 
 func srvRPCCounter(op, st byte) *obs.Counter {
 	srvRPCOnce.Do(func() {
-		for o := 0; o <= int(opVerify); o++ {
+		for o := 0; o <= int(opTraceCtx); o++ {
 			for s := 0; s <= int(statusCorrupt); s++ {
 				srvRPCCounters[o][s] = obs.Default().Counter("blockserver_server_rpcs_total", "op", opName(byte(o)), "status", statusName(byte(s)))
 			}
 		}
 	})
-	if op > opVerify {
+	if op > opTraceCtx {
 		op = 0
 	}
 	if st > statusCorrupt {
@@ -95,6 +105,11 @@ type connState struct {
 	name  []byte      // name scratch, grown to the largest name seen
 	arr   [2][]byte   // gather-list backing for vectored responses
 	iov   net.Buffers // per-reply view into arr, consumed by the write
+
+	// trace/parent hold the client's span IDs from the latest opTraceCtx
+	// prefix frame; consumed (and cleared) by the next request's handler.
+	trace  uint64
+	parent uint64
 }
 
 func (cs *connState) readOp() (byte, error) {
@@ -170,9 +185,18 @@ type storedBlock struct {
 type Server struct {
 	code *carousel.Code // may be nil: chunk requests are then rejected
 
+	// tracer records the server-side spans of traced requests; nil means
+	// the process-wide default. Set it (before Start) when several servers
+	// share a process but must expose distinct /debug/traces endpoints.
+	tracer *obs.Tracer
+
 	// corruptServes counts requests answered with a corrupt verdict —
 	// per-server bit-rot pressure, piggybacked on control-plane heartbeats.
 	corruptServes atomic.Int64
+
+	// inflight counts requests currently being handled — the queue-depth
+	// signal ObsSummary reports to the master.
+	inflight atomic.Int64
 
 	mu     sync.RWMutex
 	blocks map[string]storedBlock
@@ -187,6 +211,19 @@ type Server struct {
 // NewServer returns a server; code may be nil for a plain block store.
 func NewServer(code *carousel.Code) *Server {
 	return &Server{code: code, blocks: make(map[string]storedBlock), conns: make(map[net.Conn]struct{})}
+}
+
+// SetTracer routes this server's spans to a dedicated tracer instead of
+// the process default. Call before Start; per-node tracers are how an
+// in-process multi-"node" test gives each node its own /debug/traces.
+func (s *Server) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// tr returns the server's tracer, defaulting to the process-wide one.
+func (s *Server) tr() *obs.Tracer {
+	if s.tracer != nil {
+		return s.tracer
+	}
+	return obs.DefaultTracer()
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves
@@ -295,34 +332,80 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if err := s.handle(cs, op, name); err != nil {
+		if op == opTraceCtx {
+			// Reply-less trace-context prefix: stash the client's span IDs
+			// for the next request. A malformed length is ignored (the frame
+			// is already consumed, so the stream stays in sync).
+			if len(name) == traceCtxLen {
+				cs.trace = binary.BigEndian.Uint64(name[:8])
+				cs.parent = binary.BigEndian.Uint64(name[8:])
+			}
+			srvRPCCounter(op, statusOK).Inc()
+			continue
+		}
+		t0 := time.Now()
+		s.inflight.Add(1)
+		err = s.handle(cs, op, name)
+		s.inflight.Add(-1)
+		if err != nil {
 			return
 		}
+		srvRPCWindow.ObserveSince(t0)
 	}
 }
 
 // load fetches a stored block and verifies it against its ingest CRC. The
 // byte-slice key keeps the lookup allocation-free (the string conversion
-// in a map index does not escape).
-func (s *Server) load(name []byte) (storedBlock, byte) {
+// in a map index does not escape). On a traced request the CRC check is
+// recorded as a "verify" child span.
+func (s *Server) load(ctx context.Context, name []byte) (storedBlock, byte) {
 	s.mu.RLock()
 	b, ok := s.blocks[string(name)]
 	s.mu.RUnlock()
 	if !ok {
 		return storedBlock{}, statusNotFound
 	}
-	if Checksum(b.data) != b.crc {
+	vsp := spanChild(ctx, "verify")
+	intact := Checksum(b.data) == b.crc
+	vsp.SetAttr("bytes", len(b.data)).SetAttr("intact", intact)
+	vsp.End()
+	if !intact {
 		s.corruptServes.Add(1)
 		return storedBlock{}, statusCorrupt
 	}
 	return b, statusOK
 }
 
+// spanChild starts a child span when ctx already carries one (a traced
+// request) and returns nil otherwise, so untraced requests pay nothing —
+// nil spans are inert.
+func spanChild(ctx context.Context, name string) *obs.Span {
+	if obs.SpanFromContext(ctx) == nil {
+		return nil
+	}
+	_, sp := obs.StartSpan(ctx, name)
+	return sp
+}
+
 // handle dispatches one request; protocol errors close the connection,
 // application errors are reported in-band. name is connection scratch,
 // only valid until the next request — arms that retain it (put, delete)
 // convert it to a string.
+//
+// When the connection's last opTraceCtx frame primed a trace, the whole
+// request runs under a remote-parented "server.<op>" span whose children
+// (verify, decode) record where the server side of the exchange spent its
+// time; the span tree joins the client's via the wire trace ID.
 func (s *Server) handle(cs *connState, op byte, name []byte) error {
+	trace, parent := cs.trace, cs.parent
+	cs.trace, cs.parent = 0, 0
+	ctx := context.Background()
+	if trace != 0 && op >= opPut && op <= opVerify {
+		var sp *obs.Span
+		ctx, sp = s.tr().StartRemote(ctx, "server."+opName(op), trace, parent)
+		sp.SetAttr("block", string(name))
+		defer sp.End()
+	}
 	switch op {
 	case opPut:
 		data, err := readFrame(cs.conn)
@@ -343,7 +426,7 @@ func (s *Server) handle(cs *connState, op byte, name []byte) error {
 		return s.reply(cs, op, statusOK, nil)
 
 	case opGet:
-		b, st := s.load(name)
+		b, st := s.load(ctx, name)
 		if st != statusOK {
 			return s.reply(cs, op, st, name)
 		}
@@ -358,7 +441,7 @@ func (s *Server) handle(cs *connState, op byte, name []byte) error {
 		if err != nil {
 			return err
 		}
-		b, st := s.load(name)
+		b, st := s.load(ctx, name)
 		if st != statusOK {
 			return s.reply(cs, op, st, name)
 		}
@@ -379,11 +462,14 @@ func (s *Server) handle(cs *connState, op byte, name []byte) error {
 		if s.code == nil {
 			return s.reply(cs, op, statusError, []byte("server has no code configured"))
 		}
-		b, st := s.load(name)
+		b, st := s.load(ctx, name)
 		if st != statusOK {
 			return s.reply(cs, op, st, name)
 		}
+		dsp := spanChild(ctx, "decode")
 		chunk, err := s.code.HelperChunk(int(helper), int(failed), b.data)
+		dsp.SetAttr("chunk_bytes", len(chunk))
+		dsp.End()
 		if err != nil {
 			return s.reply(cs, op, statusError, []byte(err.Error()))
 		}
@@ -403,7 +489,7 @@ func (s *Server) handle(cs *connState, op byte, name []byte) error {
 		return s.reply(cs, op, statusOK, nil)
 
 	case opStat:
-		b, st := s.load(name)
+		b, st := s.load(ctx, name)
 		if st != statusOK {
 			return s.reply(cs, op, st, name)
 		}
@@ -413,11 +499,16 @@ func (s *Server) handle(cs *connState, op byte, name []byte) error {
 	case opVerify:
 		// A scrub primitive: re-checksum the block server-side without
 		// shipping its content. statusOK means intact.
-		_, st := s.load(name)
+		_, st := s.load(ctx, name)
 		if st != statusOK {
 			return s.reply(cs, op, st, name)
 		}
 		return s.reply(cs, op, statusOK, nil)
+
+	case opHello:
+		// Capability probe: a statusOK reply licenses the client to send
+		// opTraceCtx prefix frames on this connection.
+		return s.reply(cs, op, statusOK, []byte{capTraceCtx})
 
 	default:
 		return s.reply(cs, op, statusError, []byte(fmt.Sprintf("unknown op %d", op)))
@@ -441,6 +532,15 @@ func (s *Server) Stats() (blocks int64, bytes int64, corruptServes int64) {
 	}
 	s.mu.RUnlock()
 	return blocks, bytes, s.corruptServes.Load()
+}
+
+// ObsSummary snapshots the node-health signals a managed daemon piggybacks
+// on control-plane heartbeats: the windowed p99 of server-side RPC latency,
+// the current number of in-flight requests, and the cumulative bytes
+// served. The RPC window and bytes counter are process-wide, which is
+// exact for the one-server-per-process daemon deployment.
+func (s *Server) ObsSummary() (rpcP99NS, queueDepth, bytesTx int64) {
+	return srvRPCWindow.Snapshot().Quantile(0.99), s.inflight.Load(), srvBytesTx.Value()
 }
 
 // CorruptBlock flips a byte of a stored block without updating its CRC — a

@@ -36,6 +36,23 @@ var (
 	// actually in flight right now.
 	mPipelineDepth    = obs.Default().Gauge("store_pipeline_depth")
 	mPipelineInflight = obs.Default().Gauge("store_pipeline_inflight")
+	mWriteNS          = obs.Default().Histogram("store_write_ns")
+	// Sliding-window latency views of the three whole-operation paths:
+	// their _p50/_p99/_p999 gauges are the store's tail-latency surface on
+	// /metrics, complementing the whole-run histograms above.
+	mReadWindow   = obs.Default().Window("store_read_window_ns")
+	mWriteWindow  = obs.Default().Window("store_write_window_ns")
+	mRepairWindow = obs.Default().Window("store_repair_window_ns")
+)
+
+// Store-path SLOs: latency target plus availability objective, exported as
+// slo_* counters and burn-rate/budget gauges (see obs.NewSLO). The targets
+// are deliberately loose defaults — the point of the error budget is the
+// trend, and a production deployment tunes them by editing these.
+var (
+	sloRead   = obs.NewSLO(obs.Default(), "store_read", 500*time.Millisecond, 0.999)
+	sloWrite  = obs.NewSLO(obs.Default(), "store_write", time.Second, 0.999)
+	sloRepair = obs.NewSLO(obs.Default(), "store_repair", 5*time.Second, 0.99)
 )
 
 // DefaultPipelineDepth is how many stripes ReadFile/WriteFile keep in
@@ -168,12 +185,24 @@ func BlockName(file string, stripe, idx int) string {
 // to server i. Stripes are pipelined: up to the configured depth encode
 // and upload concurrently, so stripe st+1's GF(2^8) work overlaps stripe
 // st's network round trips. It returns the stripe count.
-func (s *Store) WriteFile(ctx context.Context, name string, data []byte) (int, error) {
+func (s *Store) WriteFile(ctx context.Context, name string, data []byte) (_ int, rerr error) {
 	if len(data) == 0 {
 		return 0, errors.New("blockserver: empty file")
 	}
+	t0 := time.Now()
 	stripeData := s.code.K() * s.blockSize
 	stripes := (len(data) + stripeData - 1) / stripeData
+	ctx, sp := obs.StartSpan(ctx, "store.write")
+	sp.SetAttr("file", name).SetAttr("bytes", len(data)).SetAttr("stripes", stripes)
+	defer func() {
+		if rerr != nil {
+			sp.SetAttr("error", rerr.Error())
+		}
+		sp.End()
+		mWriteNS.ObserveSince(t0)
+		mWriteWindow.ObserveSince(t0)
+		sloWrite.ObserveSince(t0, rerr)
+	}()
 	wctx, wcancel := context.WithCancel(ctx)
 	defer wcancel()
 	sem := make(chan struct{}, s.depth)
@@ -345,7 +374,7 @@ func (rs *ReadStats) Path() string {
 // straggling the stripe is decoded from the fastest k responders. The
 // returned stats report which path served each stripe and how many fresh
 // connections the read cost.
-func (s *Store) ReadFile(ctx context.Context, name string, size int) ([]byte, *ReadStats, error) {
+func (s *Store) ReadFile(ctx context.Context, name string, size int) (_ []byte, _ *ReadStats, rerr error) {
 	t0 := time.Now()
 	stripeData := s.code.K() * s.blockSize
 	stripes := (size + stripeData - 1) / stripeData
@@ -354,6 +383,8 @@ func (s *Store) ReadFile(ctx context.Context, name string, size int) ([]byte, *R
 	defer func() {
 		sp.End()
 		mReadNS.Observe(time.Since(t0).Nanoseconds())
+		mReadWindow.ObserveSince(t0)
+		sloRead.ObserveSince(t0, rerr)
 	}()
 	stats := &ReadStats{TraceID: sp.TraceID(), mu: new(sync.Mutex)}
 	dialsBefore := s.pool.DialCounts()
@@ -671,6 +702,8 @@ func (s *Store) repair(ctx context.Context, name string, st, failed int, ro repa
 		mRepairs.Inc()
 		mRepairTraffic.Add(int64(trafficBytes))
 		mRepairNS.ObserveSince(t0)
+		mRepairWindow.ObserveSince(t0)
+		sloRepair.ObserveSince(t0, err)
 	}()
 	n := s.code.N()
 	d := s.code.D()

@@ -1,0 +1,240 @@
+package blockserver
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"carousel/internal/carousel"
+	"carousel/internal/faultnet"
+	"carousel/internal/obs"
+)
+
+// TestCrossNodeTraceStitching is the end-to-end check of wire trace
+// propagation: a degraded read over real TCP against faultnet-straggled
+// servers — each "node" with its own tracer and /debug/traces endpoint —
+// must yield ONE stitched trace in which the client's span tree parents
+// server-side spans from at least two distinct nodes, with verify children
+// recorded server-side. The whole exercise must be goroutine-leak-free.
+func TestCrossNodeTraceStitching(t *testing.T) {
+	base := runtime.NumGoroutine()
+	code, err := carousel.New(12, 6, 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockSize := code.BlockAlign() * 16
+	size := 2*6*blockSize + 11
+	data := make([]byte, size)
+	rand.New(rand.NewSource(41)).Read(data)
+
+	servers, addrs, injectors := startFaultServers(t, code, 12)
+
+	// Give every server its own tracer and obs endpoint, the multi-node
+	// topology in one process. The client's spans live in the process
+	// default tracer behind its own endpoint.
+	endpoints := make([]string, 0, 13)
+	muxes := make([]*httptest.Server, 0, 13)
+	for _, srv := range servers {
+		tr := obs.NewTracer(1024)
+		srv.SetTracer(tr)
+		m := httptest.NewServer(obs.NewMux(obs.NewRegistry(), tr))
+		muxes = append(muxes, m)
+		endpoints = append(endpoints, m.Listener.Addr().String())
+	}
+	clientMux := httptest.NewServer(obs.NewMux(obs.Default(), obs.DefaultTracer()))
+	muxes = append(muxes, clientMux)
+	endpoints = append(endpoints, clientMux.Listener.Addr().String())
+
+	store, err := NewStore(code, addrs, blockSize,
+		WithClientOptions(fastOpts()), WithHedgeDelay(150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := store.WriteFile(ctx, "tracefile", data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Straggle two data sources beyond the hedge deadline: every stripe
+	// degrades to the any-k fallback, pulling whole blocks (server-side
+	// get + verify) from the survivors.
+	for i := 4; i <= 5; i++ {
+		injectors[i].SetDefault(faultnet.Policy{DelayWrite: 400 * time.Millisecond})
+	}
+
+	got, stats, err := store.ReadFile(ctx, "tracefile", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read returned wrong bytes")
+	}
+	if stats.StripesFallback == 0 {
+		t.Fatal("expected fallback stripes with straggled data sources")
+	}
+	if stats.TraceID == 0 {
+		t.Fatal("ReadStats carries no trace ID")
+	}
+
+	// Collect and stitch. Server spans End after the response is written,
+	// so the read can return a beat before the last span lands in its ring:
+	// poll briefly rather than flake.
+	hc := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	var spans []obs.SpanRecord
+	var serverNodes map[string]bool
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var errs map[string]error
+		spans, errs = obs.CollectTrace(ctx, hc, endpoints, stats.TraceID)
+		if errs != nil {
+			t.Fatalf("collect errors: %v", errs)
+		}
+		serverNodes = map[string]bool{}
+		for _, s := range spans {
+			if strings.HasPrefix(s.Name, "server.") {
+				if n, ok := s.Attr("node").(string); ok {
+					serverNodes[n] = true
+				}
+			}
+		}
+		if len(serverNodes) >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	byID := make(map[uint64]obs.SpanRecord, len(spans))
+	names := make(map[string]int)
+	var rootID uint64
+	for _, s := range spans {
+		byID[s.ID] = s
+		names[s.Name]++
+		if s.Name == "store.read" {
+			rootID = s.ID
+		}
+	}
+	if rootID == 0 {
+		t.Fatal("stitched trace has no store.read root")
+	}
+	if len(serverNodes) < 2 {
+		t.Fatalf("server spans from %d nodes, want >= 2 (names: %v)", len(serverNodes), names)
+	}
+	if names["server.get"] == 0 && names["server.range"] == 0 {
+		t.Fatalf("no server-side fetch spans in stitched trace: %v", names)
+	}
+	if names["verify"] == 0 {
+		t.Fatalf("no verify spans in stitched trace: %v", names)
+	}
+
+	// Every server span must chain up through the client's spans to the
+	// store.read root — that is what "one stitched tree" means.
+	climb := func(s obs.SpanRecord) string {
+		for hops := 0; hops < 32; hops++ {
+			if s.ID == rootID {
+				return ""
+			}
+			p, ok := byID[s.Parent]
+			if !ok {
+				return "broken parent chain"
+			}
+			s = p
+		}
+		return "parent cycle"
+	}
+	serverVerifies := 0
+	for _, s := range spans {
+		if strings.HasPrefix(s.Name, "server.") {
+			if msg := climb(s); msg != "" {
+				t.Errorf("server span %s (%d): %s", s.Name, s.ID, msg)
+			}
+			if p, ok := byID[s.Parent]; !ok || p.Name != "fetch" {
+				t.Errorf("server span %s parented under %q, want the client fetch span", s.Name, p.Name)
+			}
+		}
+		// Server-side verify children hang off server.* spans.
+		if s.Name == "verify" {
+			if p, ok := byID[s.Parent]; ok && strings.HasPrefix(p.Name, "server.") {
+				serverVerifies++
+			}
+		}
+	}
+	if serverVerifies == 0 {
+		t.Error("no server-side verify span parented under a server span")
+	}
+
+	// The stitched tree renders as one nested text tree.
+	tree := obs.TreeString(spans)
+	if !strings.Contains(tree, "store.read") || !strings.Contains(tree, "server.") {
+		t.Fatalf("stitched tree incomplete:\n%s", tree)
+	}
+
+	// Tear everything down and prove no goroutine leaked.
+	store.Close()
+	for _, m := range muxes {
+		m.Close()
+	}
+	for _, srv := range servers {
+		srv.Close()
+	}
+	hc.CloseIdleConnections()
+	waitGoroutines(t, base)
+}
+
+// TestTracePropagationVersionTolerance pins the interop story: a tracing
+// client against a server that does not understand opHello must degrade to
+// untraced requests on an intact connection — same results, no desync, no
+// trace frames — and a second traced request must not re-probe.
+func TestTracePropagationVersionTolerance(t *testing.T) {
+	srv := NewServer(nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewClient(addr, fastOpts())
+	defer c.Close()
+
+	// Seed a block untraced.
+	ctx := context.Background()
+	if err := c.Put(ctx, "b", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A legacy peer is simulated by forcing the capability to "probed,
+	// unsupported": the client must never emit opTraceCtx.
+	c.traceCap = -1
+	tctx, sp := obs.DefaultTracer().Start(ctx, "client.op")
+	got, err := c.Get(tctx, "b")
+	sp.End()
+	if err != nil {
+		t.Fatalf("traced get against legacy peer: %v", err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("got %q", got)
+	}
+	Recycle(got)
+
+	// And against a modern peer, the probe runs once and flips the cap on.
+	c2 := NewClient(addr, fastOpts())
+	defer c2.Close()
+	tctx2, sp2 := obs.DefaultTracer().Start(ctx, "client.op2")
+	if _, err := c2.Get(tctx2, "b"); err != nil {
+		t.Fatal(err)
+	}
+	sp2.End()
+	if c2.traceCap != 1 {
+		t.Fatalf("traceCap = %d after probing a modern peer, want 1", c2.traceCap)
+	}
+	// Untraced requests still work with the cap on (no trace frame staged).
+	if err := c2.Verify(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -103,6 +103,9 @@ type Master struct {
 	epoch   int64
 	members *memberSet
 	sched   *scheduler
+	// obsAddr is the master's own observability endpoint, advertised in
+	// Status so carouselctl can stitch master-side spans. Set before Start.
+	obsAddr string
 
 	// mu guards the journal and the persistent state image. Lock order:
 	// mu is leaf-only with respect to the scheduler — persist hooks take
@@ -159,8 +162,35 @@ func New(cfg Config) (*Master, error) {
 		st := st
 		obs.Default().GaugeFunc("master_members", func() int64 { return m.members.CountByState(st) }, "state", st.String())
 	}
+	// Cluster roll-ups: the heartbeat-piggybacked health of alive members
+	// aggregated into one cluster view, served on the master's obs endpoint
+	// and rendered by carouselctl top.
+	for _, g := range []struct {
+		name string
+		read func(Rollup) int64
+	}{
+		{"cluster_blocks", func(r Rollup) int64 { return r.Blocks }},
+		{"cluster_block_bytes", func(r Rollup) int64 { return r.BlockBytes }},
+		{"cluster_corrupt_serves", func(r Rollup) int64 { return r.CorruptServes }},
+		{"cluster_queue_depth", func(r Rollup) int64 { return r.QueueDepth }},
+		{"cluster_tx_rate_bps", func(r Rollup) int64 { return r.TxRateBps }},
+		{"cluster_rpc_p99_ns", func(r Rollup) int64 { return r.RPCP99NS }},
+		{"cluster_error_budget_min_ppm", func(r Rollup) int64 { return r.ErrorBudgetMinPPM }},
+	} {
+		read := g.read
+		obs.Default().GaugeFunc(g.name, func() int64 { return read(m.members.Rollup()) })
+	}
+	obs.Default().GaugeFunc("cluster_files", func() int64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return int64(len(m.state.Files))
+	})
 	return m, nil
 }
+
+// SetObsAddr records the master's observability endpoint for the cluster
+// status view. Call before Start.
+func (m *Master) SetObsAddr(addr string) { m.obsAddr = addr }
 
 // Start listens on addr and runs the master. Use addr ":0" to let the
 // kernel pick a port (tests); Addr reports the bound address.
@@ -345,7 +375,12 @@ func (m *Master) dispatch(op byte, raw []byte) (any, error) {
 		if err := decode(raw, &req); err != nil {
 			return nil, err
 		}
-		return m.handlePlace(req)
+		sp := m.startSpan("master.place", req.TraceContext)
+		sp.SetAttr("file", req.Name)
+		rep, err := m.handlePlace(req)
+		sp.SetAttr("error", err != nil)
+		sp.End()
+		return rep, err
 	case opStatus:
 		return m.Status(), nil
 	case opDrain:
@@ -353,7 +388,12 @@ func (m *Master) dispatch(op byte, raw []byte) (any, error) {
 		if err := decode(raw, &req); err != nil {
 			return nil, err
 		}
-		return m.handleDrain(req)
+		sp := m.startSpan("master.drain", req.TraceContext)
+		sp.SetAttr("addr", req.Addr)
+		rep, err := m.handleDrain(req)
+		sp.SetAttr("error", err != nil)
+		sp.End()
+		return rep, err
 	}
 	return nil, fmt.Errorf("master: unknown op %d", op)
 }
@@ -665,16 +705,21 @@ func (m *Master) appendLocked(rec *record) error {
 // Status assembles the cluster view served to carouselctl and the tests.
 func (m *Master) Status() *ClusterStatus {
 	now := time.Now()
-	cs := &ClusterStatus{Epoch: m.epoch}
+	cs := &ClusterStatus{Epoch: m.epoch, MasterObsAddr: m.obsAddr}
 	for _, mem := range m.members.List() {
 		cs.Members = append(cs.Members, MemberStatus{
-			Addr:          mem.Addr,
-			State:         mem.State.String(),
-			LastBeatAgoMS: now.Sub(mem.LastBeat).Milliseconds(),
-			Blocks:        mem.Info.Blocks,
-			BlockBytes:    mem.Info.BlockBytes,
-			CorruptServes: mem.Info.CorruptServes,
-			Flaps:         len(mem.Flaps),
+			Addr:           mem.Addr,
+			State:          mem.State.String(),
+			LastBeatAgoMS:  now.Sub(mem.LastBeat).Milliseconds(),
+			Blocks:         mem.Info.Blocks,
+			BlockBytes:     mem.Info.BlockBytes,
+			CorruptServes:  mem.Info.CorruptServes,
+			Flaps:          len(mem.Flaps),
+			ObsAddr:        mem.Info.ObsAddr,
+			RPCP99NS:       mem.Info.RPCP99NS,
+			QueueDepth:     mem.Info.QueueDepth,
+			TxRateBps:      mem.TxRateBps,
+			ErrorBudgetPPM: mem.Info.ErrorBudgetPPM,
 		})
 	}
 	m.mu.Lock()
@@ -694,6 +739,12 @@ func (m *Master) Status() *ClusterStatus {
 		})
 	}
 	return cs
+}
+
+// ObsAddrs lists the observability endpoints members have reported — the
+// scrape targets trace collection discovers through membership.
+func (m *Master) ObsAddrs() []string {
+	return m.members.ObsAddrs()
 }
 
 // Placement returns the current placement for a file, for tests and

@@ -64,6 +64,10 @@ type Member struct {
 	// turned into recovery tasks; the detector fires at most once per
 	// departure.
 	RebuildScheduled bool
+	// TxRateBps is the serving throughput derived from the BytesTx delta
+	// between consecutive beats (0 until two samples exist; reset-tolerant:
+	// a counter that went backwards — daemon restart — reads as 0).
+	TxRateBps int64
 }
 
 // memberConfig tunes the failure detector.
@@ -113,6 +117,11 @@ func (s *memberSet) Beat(info NodeInfo) (prev State, isNew bool) {
 		return StateAlive, true
 	}
 	prev = mem.State
+	if dt := now.Sub(mem.LastBeat); dt > 0 && info.BytesTx >= mem.Info.BytesTx {
+		mem.TxRateBps = int64(float64(info.BytesTx-mem.Info.BytesTx) / dt.Seconds())
+	} else {
+		mem.TxRateBps = 0
+	}
 	if prev != StateAlive {
 		// A recovery from suspicion (or beyond) is a flap; prune the ones
 		// that aged out of the window while we are here.
@@ -251,6 +260,65 @@ func (s *memberSet) Alive() []Member {
 		}
 		return out[i].Addr < out[j].Addr
 	})
+	return out
+}
+
+// Rollup is the cluster-wide aggregate of the alive members' piggybacked
+// health, computed under one lock pass — what the master's cluster_*
+// gauges export.
+type Rollup struct {
+	Blocks        int64
+	BlockBytes    int64
+	CorruptServes int64
+	QueueDepth    int64 // summed in-flight requests
+	TxRateBps     int64 // summed serving throughput
+	RPCP99NS      int64 // worst per-node windowed RPC p99
+	// ErrorBudgetMinPPM is the tightest remaining SLO budget across
+	// obs-enabled members (1e6 when none report).
+	ErrorBudgetMinPPM int64
+}
+
+// Rollup aggregates the alive members. Health fields are only folded in
+// for members that report an obs endpoint, so a mixed-version cluster does
+// not read old daemons' zero values as burned budgets.
+func (s *memberSet) Rollup() Rollup {
+	r := Rollup{ErrorBudgetMinPPM: 1_000_000}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, mem := range s.m {
+		if mem.State != StateAlive {
+			continue
+		}
+		r.Blocks += mem.Info.Blocks
+		r.BlockBytes += mem.Info.BlockBytes
+		r.CorruptServes += mem.Info.CorruptServes
+		if mem.Info.ObsAddr == "" {
+			continue
+		}
+		r.QueueDepth += mem.Info.QueueDepth
+		r.TxRateBps += mem.TxRateBps
+		if mem.Info.RPCP99NS > r.RPCP99NS {
+			r.RPCP99NS = mem.Info.RPCP99NS
+		}
+		if mem.Info.ErrorBudgetPPM < r.ErrorBudgetMinPPM {
+			r.ErrorBudgetMinPPM = mem.Info.ErrorBudgetPPM
+		}
+	}
+	return r
+}
+
+// ObsAddrs lists the obs endpoints of every member reporting one — the
+// scrape targets carouselctl trace and stats discover through the master.
+func (s *memberSet) ObsAddrs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for _, mem := range s.m {
+		if mem.Info.ObsAddr != "" {
+			out = append(out, mem.Info.ObsAddr)
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 

@@ -161,6 +161,16 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// TraceContext optionally links a control-plane request into the caller's
+// span tree: a master that understands it parents its server-side span
+// under the client's. Version tolerance is free here — JSON decoding
+// ignores fields an old master does not know, and omitempty keeps old-style
+// requests byte-identical when no trace is active.
+type TraceContext struct {
+	TraceID      uint64 `json:"trace_id,omitempty"`
+	ParentSpanID uint64 `json:"parent_span_id,omitempty"`
+}
+
 // NodeInfo is what a blockserver reports when registering and on every
 // heartbeat: its dialable block-service address plus capacity and
 // obs-derived health counters, so the master's placement and status views
@@ -175,6 +185,20 @@ type NodeInfo struct {
 	// CorruptServes counts requests the server answered with a corrupt
 	// verdict — bit rot pressure, a scrub-priority signal.
 	CorruptServes int64 `json:"corrupt_serves"`
+	// ObsAddr is the node's observability HTTP endpoint ("" when disabled).
+	// Its presence also marks the health fields below as meaningful — old
+	// daemons send neither, and the master's roll-ups skip them.
+	ObsAddr string `json:"obs_addr,omitempty"`
+	// RPCP99NS is the windowed p99 of server-side RPC latency.
+	RPCP99NS int64 `json:"rpc_p99_ns,omitempty"`
+	// QueueDepth is the number of requests in flight at snapshot time.
+	QueueDepth int64 `json:"queue_depth,omitempty"`
+	// BytesTx is the cumulative bytes the node has served; the master
+	// derives a throughput rate from consecutive beats.
+	BytesTx int64 `json:"bytes_tx,omitempty"`
+	// ErrorBudgetPPM is the node's tightest remaining SLO error budget in
+	// parts per million (1e6 = untouched).
+	ErrorBudgetPPM int64 `json:"error_budget_ppm,omitempty"`
 }
 
 // RegisterAck is the master's reply to register and heartbeat: the
@@ -197,6 +221,7 @@ func (a RegisterAck) Interval() time.Duration {
 // request by name returns the current placement, newcomer substitutions
 // included).
 type PlaceRequest struct {
+	TraceContext
 	Name      string   `json:"name"`
 	Size      int      `json:"size"`
 	BlockSize int      `json:"block_size"`
@@ -214,6 +239,7 @@ type PlaceReply struct {
 
 // DrainRequest names a member whose blocks should move off.
 type DrainRequest struct {
+	TraceContext
 	Addr string `json:"addr"`
 }
 
@@ -231,6 +257,14 @@ type MemberStatus struct {
 	BlockBytes    int64  `json:"block_bytes"`
 	CorruptServes int64  `json:"corrupt_serves"`
 	Flaps         int    `json:"flaps"`
+	// Health piggybacked from the member's last beat (zero for daemons
+	// without an obs endpoint); TxRateBps is derived by the master from
+	// consecutive BytesTx samples.
+	ObsAddr        string `json:"obs_addr,omitempty"`
+	RPCP99NS       int64  `json:"rpc_p99_ns,omitempty"`
+	QueueDepth     int64  `json:"queue_depth,omitempty"`
+	TxRateBps      int64  `json:"tx_rate_bps,omitempty"`
+	ErrorBudgetPPM int64  `json:"error_budget_ppm,omitempty"`
 }
 
 // TaskStatus is one scheduler task's row in the cluster view.
@@ -255,6 +289,28 @@ type ClusterStatus struct {
 	Pending int            `json:"pending_tasks"`
 	Running int            `json:"running_tasks"`
 	Tasks   []TaskStatus   `json:"tasks"`
+	// MasterObsAddr is the master's own observability endpoint ("" when
+	// disabled); with the members' ObsAddr fields it gives carouselctl the
+	// full scrape-target set for trace stitching and the top view.
+	MasterObsAddr string `json:"master_obs_addr,omitempty"`
+}
+
+// ObsAddrs returns every observability endpoint in the cluster view — the
+// members' plus the master's own — deduplicated, in member order.
+func (cs *ClusterStatus) ObsAddrs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(a string) {
+		if a != "" && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, mem := range cs.Members {
+		add(mem.ObsAddr)
+	}
+	add(cs.MasterObsAddr)
+	return out
 }
 
 // Member returns the row for addr, or nil.

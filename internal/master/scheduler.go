@@ -2,6 +2,7 @@ package master
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 	"time"
@@ -17,8 +18,17 @@ var (
 	mTasksDone    = obs.Default().Counter("master_tasks_done_total")
 	mTasksFailed  = obs.Default().Counter("master_tasks_failed_total")
 	mRecoverNS    = obs.Default().Histogram("master_task_ns", "class", string(ClassRecover))
-	mScrubNS      = obs.Default().Histogram("master_task_ns", "class", string(ClassScrub))
+	mScrubNS     = obs.Default().Histogram("master_task_ns", "class", string(ClassScrub))
+	mRecoverWin  = obs.Default().Window("master_task_window_ns", "class", string(ClassRecover))
+	mScrubWin    = obs.Default().Window("master_task_window_ns", "class", string(ClassScrub))
+	// sloTask tracks task completion against a latency/availability
+	// objective: tasks should finish (without failing) inside the target,
+	// 99% of the time. Failures burn budget alongside slow passes.
+	sloTask = obs.NewSLO(obs.Default(), "master_task", 5*time.Minute, 0.99)
 )
+
+// errTaskFailed marks a terminal task failure for the task SLO.
+var errTaskFailed = errors.New("master: task failed")
 
 // TaskClass partitions the queue: each class has its own concurrency cap,
 // and lower-numbered classes run first when both are waiting.
@@ -284,17 +294,22 @@ func (s *scheduler) run(t *Task) {
 	s.mu.Unlock()
 	if finalState != "" {
 		s.persist.onState(t.ID, finalState, finalErr)
+		var failed error
 		switch finalState {
 		case TaskDone:
 			mTasksDone.Inc()
 		case TaskFailed:
 			mTasksFailed.Inc()
+			failed = errTaskFailed
 		}
 		if t.Class == ClassRecover {
 			mRecoverNS.ObserveSince(t0)
+			mRecoverWin.ObserveSince(t0)
 		} else {
 			mScrubNS.ObserveSince(t0)
+			mScrubWin.ObserveSince(t0)
 		}
+		sloTask.ObserveSince(t0, failed)
 	}
 	s.kick()
 }

@@ -1,0 +1,28 @@
+package master
+
+import (
+	"context"
+
+	"carousel/internal/obs"
+)
+
+// TraceFromContext snapshots the ambient span (if any) into the optional
+// TraceContext a control-plane request carries, so a master that
+// understands it parents its handler span under the caller's.
+func TraceFromContext(ctx context.Context) TraceContext {
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		return TraceContext{TraceID: sp.TraceID(), ParentSpanID: sp.ID()}
+	}
+	return TraceContext{}
+}
+
+// startSpan opens a handler span parented under a request's TraceContext,
+// or returns an inert nil span for untraced requests (old clients, bare
+// carouselctl calls) — the untraced path pays nothing.
+func (m *Master) startSpan(name string, tc TraceContext) *obs.Span {
+	if tc.TraceID == 0 {
+		return nil
+	}
+	_, sp := obs.DefaultTracer().StartRemote(context.Background(), name, tc.TraceID, tc.ParentSpanID)
+	return sp
+}

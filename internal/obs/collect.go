@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// CollectTrace pulls /debug/traces?trace=ID from every obs endpoint
+// (host:port of an obs mux) and stitches the spans into one cross-node
+// list: deduplicated by span ID, each span annotated with a "node" attr
+// naming the endpoint it came from, sorted by start time so TreeString
+// renders the combined tree. Random per-process span-ID bases (see
+// NewTracer) keep IDs from different nodes distinct, and wire propagation
+// (the blockserver trace-context frame) makes server-side spans carry the
+// client's trace ID — together they are what makes this a single tree
+// rather than N disjoint ones.
+//
+// Endpoints that fail to answer are reported in the returned error map;
+// the collection succeeds as long as any endpoint does. A nil client uses
+// http.DefaultClient.
+func CollectTrace(ctx context.Context, client *http.Client, endpoints []string, trace uint64) ([]SpanRecord, map[string]error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	type nodeSpans struct {
+		node  string
+		spans []SpanRecord
+		err   error
+	}
+	results := make([]nodeSpans, len(endpoints))
+	var wg sync.WaitGroup
+	for i, ep := range endpoints {
+		wg.Add(1)
+		go func(i int, ep string) {
+			defer wg.Done()
+			spans, err := fetchTrace(ctx, client, ep, trace)
+			results[i] = nodeSpans{node: ep, spans: spans, err: err}
+		}(i, ep)
+	}
+	wg.Wait()
+
+	errs := make(map[string]error)
+	seen := make(map[uint64]bool)
+	var out []SpanRecord
+	for _, r := range results {
+		if r.err != nil {
+			errs[r.node] = r.err
+			continue
+		}
+		for _, s := range r.spans {
+			if s.ID != 0 && seen[s.ID] {
+				continue
+			}
+			seen[s.ID] = true
+			if s.Attr("node") == nil {
+				s.Attrs = append(s.Attrs, Attr{Key: "node", Value: r.node})
+			}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(errs) == 0 {
+		errs = nil
+	}
+	return out, errs
+}
+
+// fetchTrace fetches one endpoint's spans for a trace.
+func fetchTrace(ctx context.Context, client *http.Client, endpoint string, trace uint64) ([]SpanRecord, error) {
+	url := fmt.Sprintf("http://%s/debug/traces?trace=%d", endpoint, trace)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: %s: status %s", url, resp.Status)
+	}
+	var spans []SpanRecord
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", url, err)
+	}
+	return spans, nil
+}

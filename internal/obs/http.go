@@ -31,7 +31,9 @@ func publishExpvar(r *Registry) {
 //	/debug/vars    — expvar JSON (memstats, cmdline, carousel_metrics)
 //	/debug/pprof/  — the standard pprof handlers
 //	/debug/traces  — recent finished spans as JSON (?trace=ID filters one
-//	                 trace, ?tree=1 renders the indented stage tree)
+//	                 trace, ?tree=1 renders the indented stage tree,
+//	                 ?since=30s keeps only spans that ended within the
+//	                 duration, ?limit=N caps the result to the N newest)
 func NewMux(r *Registry, t *Tracer) *http.ServeMux {
 	publishExpvar(r)
 	mux := http.NewServeMux()
@@ -62,18 +64,41 @@ func NewMux(r *Registry, t *Tracer) *http.ServeMux {
 
 func traceSelection(t *Tracer, req *http.Request) []SpanRecord {
 	q := req.URL.Query()
+	var spans []SpanRecord
 	if ts := q.Get("trace"); ts != "" {
 		if id, err := strconv.ParseUint(ts, 10, 64); err == nil {
-			return t.Spans(id)
+			spans = t.Spans(id)
+		}
+	} else {
+		max := 256
+		if ns := q.Get("n"); ns != "" {
+			if n, err := strconv.Atoi(ns); err == nil && n > 0 {
+				max = n
+			}
+		}
+		spans = t.Recent(max)
+	}
+	// ?since keeps spans that *ended* within the duration, so a scraper
+	// polling a busy ring only pays for the new tail.
+	if ss := q.Get("since"); ss != "" {
+		if d, err := time.ParseDuration(ss); err == nil && d > 0 {
+			cut := time.Now().Add(-d)
+			kept := spans[:0:0]
+			for _, s := range spans {
+				if s.Start.Add(s.Duration).After(cut) {
+					kept = append(kept, s)
+				}
+			}
+			spans = kept
 		}
 	}
-	max := 256
-	if ns := q.Get("n"); ns != "" {
-		if n, err := strconv.Atoi(ns); err == nil && n > 0 {
-			max = n
+	// ?limit caps the result to the newest N (ring order is end order).
+	if ls := q.Get("limit"); ls != "" {
+		if n, err := strconv.Atoi(ls); err == nil && n >= 0 && len(spans) > n {
+			spans = spans[len(spans)-n:]
 		}
 	}
-	return t.Recent(max)
+	return spans
 }
 
 // Handler returns the mux over the process-wide default registry and

@@ -171,6 +171,8 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() int64
 	histograms map[string]*Histogram
+	windows    map[string]*WindowHistogram
+	slos       []*SLO
 }
 
 // NewRegistry returns an empty registry.
@@ -180,6 +182,7 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		gaugeFuncs: make(map[string]func() int64),
 		histograms: make(map[string]*Histogram),
+		windows:    make(map[string]*WindowHistogram),
 	}
 }
 
@@ -304,6 +307,29 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	return h
 }
 
+// Window returns (creating on first use) the sliding-window histogram
+// with the given name and label pairs, covering DefaultWindow. At
+// snapshot time each window exports `<name>_p50`, `<name>_p99`, and
+// `<name>_p999` gauges (labels preserved), which is how tail latency
+// reaches /metrics without whole-run dilution.
+func (r *Registry) Window(name string, labels ...string) *WindowHistogram {
+	full := FullName(name, labels...)
+	r.mu.RLock()
+	w, ok := r.windows[full]
+	r.mu.RUnlock()
+	if ok {
+		return w
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok = r.windows[full]; ok {
+		return w
+	}
+	w = NewWindowHistogram(DefaultWindow, defaultWindowSlices)
+	r.windows[full] = w
+	return w
+}
+
 // Snapshot is a deterministic point-in-time copy of a registry (or of a
 // scraped /metrics page): plain maps from full metric name to value.
 type Snapshot struct {
@@ -343,6 +369,10 @@ func (r *Registry) Snapshot() *Snapshot {
 	for k, v := range r.histograms {
 		hists[k] = v
 	}
+	windows := make(map[string]*WindowHistogram, len(r.windows))
+	for k, v := range r.windows {
+		windows[k] = v
+	}
 	r.mu.RUnlock()
 	for k, c := range counters {
 		s.Counters[k] = c.Value()
@@ -355,6 +385,12 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for k, h := range hists {
 		s.Histograms[k] = h.snapshot()
+	}
+	for k, w := range windows {
+		ws := w.Snapshot()
+		s.Gauges[withSuffix(k, "_p50")] = ws.Quantile(0.50)
+		s.Gauges[withSuffix(k, "_p99")] = ws.Quantile(0.99)
+		s.Gauges[withSuffix(k, "_p999")] = ws.Quantile(0.999)
 	}
 	return s
 }

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -120,12 +122,27 @@ type Tracer struct {
 }
 
 // NewTracer returns a tracer retaining the last capacity finished spans
-// (minimum 16).
+// (minimum 16). Span IDs start from a random per-tracer base so that IDs
+// minted by different processes do not collide when their spans are
+// stitched into one cross-node trace.
 func NewTracer(capacity int) *Tracer {
 	if capacity < 16 {
 		capacity = 16
 	}
-	return &Tracer{buf: make([]SpanRecord, capacity)}
+	t := &Tracer{buf: make([]SpanRecord, capacity)}
+	t.ids.Store(randomIDBase())
+	return t
+}
+
+// randomIDBase draws a random span-ID base with the low 24 bits clear: a
+// process can mint 16M spans before leaving its private range, and two
+// processes picking the same base is a ~2^-40 event per pair.
+func randomIDBase() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return 0 // fall back to sequential IDs from 1
+	}
+	return binary.BigEndian.Uint64(b[:]) &^ ((1 << 24) - 1) &^ (1 << 63)
 }
 
 // defaultTracer backs the package-level StartSpan and /debug/traces.
@@ -164,6 +181,21 @@ func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span
 	} else {
 		s.trace = s.id
 	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartRemote begins a span that joins a trace rooted on another process:
+// trace and parent are the IDs received on the wire. With trace == 0 it
+// behaves like Start (roots a new trace), so callers can pass whatever the
+// request carried without branching.
+func (t *Tracer) StartRemote(ctx context.Context, name string, trace, parent uint64) (context.Context, *Span) {
+	if trace == 0 {
+		return t.Start(ctx, name)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := &Span{tracer: t, name: name, id: t.ids.Add(1), start: time.Now(), trace: trace, parent: parent}
 	return ContextWithSpan(ctx, s), s
 }
 

@@ -237,7 +237,7 @@ func splitLabels(s string) []string {
 // _bytes as sizes, everything else as plain integers.
 func FormatValue(family string, v int64) string {
 	switch {
-	case strings.HasSuffix(family, "_ns"):
+	case strings.HasSuffix(family, "_ns"), strings.Contains(family, "_ns_p"):
 		return formatDurationNS(v)
 	case strings.Contains(family, "bytes"):
 		return formatBytes(v)

@@ -4,6 +4,13 @@
 # post-repair reads), scrapes every /metrics endpoint through
 # `carouselctl stats`, and asserts that the expected metric families are
 # exported and that the degraded-read counters actually moved.
+#
+# A second phase then boots a master-managed cluster (carouselmaster +
+# four blockserverd members with obs endpoints), runs a traced put/get
+# through master-owned placements, and asserts that `carouselctl trace`
+# stitches the server-side spans of that read, that the master's
+# /metrics exports nonzero cluster_* roll-up gauges, and that the
+# windowed *_p99 tail gauges are live on the data path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,7 +22,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go build -o "$BIN" ./cmd/blockserverd ./cmd/carouselctl ./examples/tcpcluster
+go build -o "$BIN" ./cmd/blockserverd ./cmd/carouselctl ./cmd/carouselmaster ./examples/tcpcluster
 
 # Three standalone block servers, each with its own observability endpoint.
 for i in 0 1 2; do
@@ -77,3 +84,91 @@ done
 "$BIN/carouselctl" stats -addrs "$ADDRS" >/dev/null
 
 echo "obscheck: all metric families present; degraded-read counters nonzero"
+
+# ---------------------------------------------------------------------------
+# Phase 2: master-managed cluster — trace stitching and cluster_* roll-ups.
+# A small 4/2/3/3 code keeps the member count script-sized; the fast
+# heartbeat makes the piggybacked health counters land within a second.
+CODE="-n 4 -k 2 -d 3 -p 3"
+MASTER=127.0.0.1:17189
+MOBS=127.0.0.1:18189
+"$BIN/carouselmaster" -addr "$MASTER" -obs-addr "$MOBS" $CODE -heartbeat 250ms &
+for i in 0 1 2 3; do
+    "$BIN/blockserverd" -addr "127.0.0.1:$((17190 + i))" \
+        -master "$MASTER" -obs-addr "127.0.0.1:$((18190 + i))" $CODE &
+done
+
+# A put needs four alive members; registration happens on daemon startup,
+# so polling the put doubles as the readiness wait.
+head -c 200000 /dev/urandom >"$BIN/payload"
+PUT=""
+for _ in $(seq 1 100); do
+    if PUT=$("$BIN/carouselctl" cluster put -master "$MASTER" $CODE \
+        -name obscheck "$BIN/payload" 2>/dev/null); then
+        break
+    fi
+    PUT=""
+    sleep 0.3
+done
+if [ -z "$PUT" ]; then
+    echo "obscheck: master-managed put never succeeded" >&2
+    exit 1
+fi
+
+# The get prints the read's trace ID; that is the handle the stitched
+# cross-node trace is collected by.
+GET=$("$BIN/carouselctl" cluster get -master "$MASTER" $CODE obscheck "$BIN/got")
+cmp -s "$BIN/payload" "$BIN/got" || { echo "obscheck: get roundtrip mismatch" >&2; exit 1; }
+TRACE=$(awk '$1 == "trace" {print $2; exit}' <<<"$GET")
+if [ -z "$TRACE" ] || [ "$TRACE" = "0" ]; then
+    echo "obscheck: cluster get reported no trace ID: $GET" >&2
+    exit 1
+fi
+
+# The server-side spans land in each daemon's ring just after the client's
+# read returns, so poll the collection briefly. The stitched tree must
+# contain server-side spans gathered from more than one node.
+TOUT=""
+for _ in $(seq 1 50); do
+    if TOUT=$("$BIN/carouselctl" trace -master "$MASTER" "$TRACE" 2>/dev/null) \
+        && grep -q 'server\.' <<<"$TOUT" \
+        && grep -Eq 'from ([2-9]|[0-9]{2,}) node' <<<"$TOUT"; then
+        break
+    fi
+    TOUT=""
+    sleep 0.2
+done
+if [ -z "$TOUT" ]; then
+    echo "obscheck: trace $TRACE never stitched server spans from >= 2 nodes" >&2
+    "$BIN/carouselctl" trace -master "$MASTER" "$TRACE" >&2 || true
+    exit 1
+fi
+
+# The master aggregates heartbeat-piggybacked member health into the
+# cluster_* gauges on its own obs endpoint; the put's blocks must show up
+# there once the next beats land.
+MOUT=""
+for _ in $(seq 1 50); do
+    if MOUT=$("$BIN/carouselctl" stats -addrs "$MOBS" -raw 2>/dev/null) \
+        && grep -Eq '^cluster_blocks [1-9]' <<<"$MOUT"; then
+        break
+    fi
+    MOUT=""
+    sleep 0.2
+done
+if [ -z "$MOUT" ]; then
+    echo "obscheck: master never rolled the put's blocks into cluster_blocks" >&2
+    exit 1
+fi
+for fam in cluster_files cluster_block_bytes cluster_tx_rate_bps \
+    cluster_rpc_p99_ns cluster_error_budget_min_ppm; do
+    grep -q "^$fam" <<<"$MOUT" || { echo "obscheck: $fam missing from master scrape" >&2; exit 1; }
+done
+
+# The windowed tail gauges on the data path must be live: the get just
+# exercised every member, so the sliding-window server RPC p99 is fresh.
+DOUT=$("$BIN/carouselctl" stats -addrs 127.0.0.1:18190,127.0.0.1:18191,127.0.0.1:18192,127.0.0.1:18193 -raw)
+grep -Eq '^blockserver_server_rpc_window_ns_p99 [1-9]' <<<"$DOUT" \
+    || { echo "obscheck: blockserver_server_rpc_window_ns_p99 is zero or missing" >&2; exit 1; }
+
+echo "obscheck: stitched trace $TRACE across nodes; cluster_* roll-ups and windowed p99 gauges live"

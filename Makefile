@@ -2,13 +2,13 @@ GO ?= go
 
 # Packages whose hot paths share mutable buffers across goroutines; these run
 # under the race detector in addition to the normal suite.
-RACE_PKGS = ./internal/codeplan ./internal/workpool ./internal/matrix ./internal/carousel ./internal/blockserver ./internal/faultnet ./internal/dfs ./internal/retry ./internal/obs ./internal/bufpool ./internal/stream ./internal/master
+RACE_PKGS = ./internal/codeplan ./internal/workpool ./internal/matrix ./internal/carousel ./internal/blockserver ./internal/faultnet ./internal/dfs ./internal/retry ./internal/obs ./internal/bufpool ./internal/stream ./internal/master ./internal/stripecache ./internal/workload
 
 # Packages on the fault-tolerant block path: run twice under the race
 # detector to shake out order-dependent leaks and redial races.
 FAULT_PKGS = ./internal/blockserver ./internal/dfs ./internal/faultnet
 
-.PHONY: check vet build test race race-tiers faults master bench bench-net bench-recovery bench-sweep obs
+.PHONY: check vet build test race race-tiers faults master bench bench-net bench-recovery bench-sweep obs swarm bench-swarm
 
 check: vet build test race
 
@@ -71,6 +71,22 @@ bench-net:
 # section of BENCH_clusterbench.json.
 bench-recovery:
 	$(GO) run ./cmd/clusterbench -fig recovery -json
+
+# The hot-read stripe cache: the S3-FIFO admission and singleflight unit
+# suites plus the store-level cache e2es (warm-read zero dials, error
+# fan-out, waiter cancellation, invalidation races), race-enabled, then a
+# short open-loop Zipf swarm A/B (cache-off vs cache-on, no JSON refresh).
+swarm:
+	$(GO) test -race -count=2 ./internal/stripecache ./internal/workload
+	$(GO) test -race -run 'TestStoreCache|TestStreamPrefetchServesFromCache' ./internal/blockserver
+	$(GO) run ./cmd/clusterbench -fig swarm -swarmdur 1s -swarmobjs 128
+
+# The swarm A/B at full length, refreshing the swarm section of
+# BENCH_clusterbench.json: open-loop Poisson arrivals at 3x the measured
+# cache-off capacity, Zipf(1.1) over 256 objects, hundreds of clients,
+# cache-off vs cache-on plus both again under injected stragglers.
+bench-swarm:
+	$(GO) run ./cmd/clusterbench -fig swarm -json
 
 # The observability layer: metric/span correctness under the race detector,
 # the degraded-read and cross-node trace-stitching e2es, the master's

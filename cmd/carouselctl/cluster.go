@@ -111,6 +111,8 @@ func cmdClusterGet(args []string) error {
 	k := fs.Int("k", 6, "data blocks' worth of content per stripe")
 	d := fs.Int("d", 10, "repair helpers")
 	p := fs.Int("p", 12, "data parallelism")
+	count := fs.Int("count", 1, "read the file this many times (re-reads exercise the stripe cache)")
+	cacheMiB := fs.Int("cache", 0, "stripe-cache budget in MiB (0 disables caching)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		usage()
@@ -126,22 +128,40 @@ func cmdClusterGet(args []string) error {
 	if err != nil {
 		return fmt.Errorf("master %s: %w", *masterAddr, err)
 	}
-	st, err := blockserver.NewStore(code, rep.Addrs, rep.BlockSize)
+	var opts []blockserver.StoreOption
+	if *cacheMiB > 0 {
+		opts = append(opts, blockserver.WithStripeCache(int64(*cacheMiB)<<20))
+	}
+	st, err := blockserver.NewStore(code, rep.Addrs, rep.BlockSize, opts...)
 	if err != nil {
 		return err
 	}
 	defer st.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	data, stats, err := st.ReadFile(ctx, fileName, rep.Size)
-	if err != nil {
-		return fmt.Errorf("reading %q: %w", fileName, err)
+	if *count < 1 {
+		*count = 1
+	}
+	var data []byte
+	var stats *blockserver.ReadStats
+	cacheHits := 0
+	for i := 0; i < *count; i++ {
+		data, stats, err = st.ReadFile(ctx, fileName, rep.Size)
+		if err != nil {
+			return fmt.Errorf("reading %q (pass %d of %d): %w", fileName, i+1, *count, err)
+		}
+		cacheHits += stats.CacheHits
 	}
 	if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("got %s: %d bytes -> %s (%d stripes parallel, %d fallback)\n",
 		fileName, len(data), outPath, stats.StripesParallel, stats.StripesFallback)
+	if *cacheMiB > 0 {
+		cst := st.Cache().Stats()
+		fmt.Printf("cache: %d stripe hits over %d read(s), %s resident, %d inserts, %d evictions\n",
+			cacheHits, *count, formatBytes(cst.Bytes), cst.Inserts, cst.Evictions)
+	}
 	fmt.Printf("trace %d (carouselctl trace -master %s %d)\n", stats.TraceID, *masterAddr, stats.TraceID)
 	return nil
 }

@@ -14,7 +14,7 @@
 //	carouselctl cluster status [-master host:port]
 //	carouselctl cluster drain  [-master host:port] <member-addr>
 //	carouselctl cluster put    [-master host:port] [-name stored-name] <file>
-//	carouselctl cluster get    [-master host:port] <stored-name> <out-file>
+//	carouselctl cluster get    [-master host:port] [-count N] [-cache MiB] <stored-name> <out-file>
 //
 // encode writes out-dir/block_NNN.bin plus a manifest.json recording the
 // code parameters and the original size. decode tolerates up to n-k
@@ -135,7 +135,7 @@ func usage() {
   carouselctl cluster status [-master host:port]
   carouselctl cluster drain  [-master host:port] <member-addr>
   carouselctl cluster put    [-master host:port] [-name stored-name] <file>
-  carouselctl cluster get    [-master host:port] <stored-name> <out-file>`)
+  carouselctl cluster get    [-master host:port] [-count N] [-cache MiB] <stored-name> <out-file>`)
 	os.Exit(2)
 }
 

@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	clusterbench [-fig all|9|10|11|deg|tail|net|recovery] [-scale 32] [-netmb 8] [-netreps 3] [-recmb 8] [-recreps 3] [-maxprocs 1,2,4,8] [-json]
+//	clusterbench [-fig all|9|10|11|deg|tail|net|recovery|swarm] [-scale 32] [-netmb 8] [-netreps 3] [-recmb 8] [-recreps 3] [-maxprocs 1,2,4,8] [-json]
 //
 // -scale divides the data size and every bandwidth by the same factor, so
 // simulated durations equal the full-scale run while the real task logic
@@ -27,8 +27,13 @@
 // node-repair sibling: one server of the live cluster is declared failed
 // and the parallel recovery engine (Store.RecoverServer) is A/B'd against
 // the sequential repair loop on a -recmb MiB file, reporting recovery MB/s
-// and the per-helper chunk spread. With -json the measurements are also
-// written to BENCH_clusterbench.json (each figure owns a section).
+// and the per-helper chunk spread. -fig swarm is the hot-read benchmark:
+// an open-loop Poisson swarm (hundreds of concurrent clients, seeded
+// Zipf(s≈1.1) object popularity) offers the same load to the store with
+// its stripe cache off and on — plus both again under faultnet straggler
+// injection — reporting reads/s and p50/p99/p999 from scheduled-arrival
+// time. With -json the measurements are also written to
+// BENCH_clusterbench.json (each figure owns a section).
 //
 // -maxprocs sweeps the live-TCP figures across GOMAXPROCS values (e.g.
 // -maxprocs 1,2,4,8): each pass pins GOMAXPROCS, sizes the shared worker
@@ -88,7 +93,13 @@ func main() {
 		"emulated network latency per server response write in the -fig recovery A/B (tc-netem stand-in; applied to both variants)")
 	maxprocs := flag.String("maxprocs", "",
 		"comma-separated GOMAXPROCS values to sweep the -fig net/recovery A/Bs over (e.g. 1,2,4,8; default: current GOMAXPROCS only)")
-	jsonOut := flag.Bool("json", false, "with -fig net/recovery, also write measurements to "+netJSONPath)
+	swarmObjs := flag.Int("swarmobjs", 256, "object population size for the -fig swarm open-loop Zipf benchmark")
+	swarmCache := flag.Int("swarmcache", 4, "stripe cache budget in MiB for the -fig swarm cache-on variants")
+	swarmDur := flag.Duration("swarmdur", 3*time.Second, "open-loop arrival window per -fig swarm variant")
+	swarmRate := flag.Float64("swarmrate", 0, "offered load in reads/s for -fig swarm (0 = calibrate cache-off capacity and overload it 3x)")
+	swarmClients := flag.Int("swarmclients", 384, "max concurrent in-flight reads per -fig swarm variant (arrivals beyond it are shed)")
+	swarmSeed := flag.Int64("swarmseed", 42, "root seed for the -fig swarm Zipf object sequence and arrival process")
+	jsonOut := flag.Bool("json", false, "with -fig net/recovery/swarm, also write measurements to "+netJSONPath)
 	flag.Parse()
 	if *scale < 1 {
 		obs.SetDefaultLogger(false).Error("scale must be >= 1")
@@ -131,6 +142,11 @@ func main() {
 	}
 	if *fig == "recovery" {
 		if err := figRecovery(*recMB, *recReps, *recDelay, sweep, *jsonOut); err != nil {
+			fail(err)
+		}
+	}
+	if *fig == "swarm" {
+		if err := figSwarm(*swarmObjs, *swarmCache, *swarmDur, *swarmRate, *swarmClients, *swarmSeed, *jsonOut); err != nil {
 			fail(err)
 		}
 	}

@@ -24,6 +24,7 @@ import (
 type benchDoc struct {
 	Net      *netSection      `json:"net,omitempty"`
 	Recovery *recoverySection `json:"recovery,omitempty"`
+	Swarm    *swarmSection    `json:"swarm,omitempty"`
 }
 
 // updateBenchJSON reads the snapshot (tolerating a missing or old-schema

@@ -11,6 +11,7 @@ import (
 	"carousel/internal/carousel"
 	"carousel/internal/obs"
 	"carousel/internal/reedsolomon"
+	"carousel/internal/stripecache"
 )
 
 // Store read/repair metrics. These are the cluster-level counterparts of
@@ -19,6 +20,11 @@ import (
 var (
 	mStripesParallel = obs.Default().Counter("store_parallel_stripes_total")
 	mStripesFallback = obs.Default().Counter("store_fallback_stripes_total")
+	// Cache-path counterparts: stripes served straight from the stripe
+	// cache (no network) and stripes whose miss coalesced onto another
+	// caller's in-flight fetch.
+	mCacheHitStripes  = obs.Default().Counter("store_cache_hit_stripes_total")
+	mCoalescedStripes = obs.Default().Counter("store_coalesced_stripes_total")
 	mCorruptSources  = obs.Default().Counter("store_corrupt_sources_total")
 	mBytesFetched    = obs.Default().Counter("store_bytes_fetched_total")
 	mReadNS          = obs.Default().Histogram("store_read_ns")
@@ -82,6 +88,11 @@ type Store struct {
 	poolSize  int   // per-peer connection budget; <=0 disables pooling
 	pool      *Pool // shared by reads, writes, scrub, and repair
 
+	// cache, when non-nil, serves hot stripes from memory with singleflight
+	// miss coalescing. Nil (the default) keeps the read path byte-identical
+	// to the uncached store — every read hits the network.
+	cache *stripecache.Cache
+
 	// helperChunks interns the per-peer repair-chunk counters once, so the
 	// per-helper accounting of a recovery pass is an array index instead of
 	// a label-joining registry lookup per chunk.
@@ -123,6 +134,33 @@ func WithPipelineDepth(d int) StoreOption {
 func WithPoolSize(n int) StoreOption {
 	return func(s *Store) { s.poolSize = n }
 }
+
+// WithStripeCache enables the hot-read stripe cache with the given byte
+// budget: decoded stripes are kept in memory (S3-FIFO admission, per-file
+// version invalidation) and N concurrent misses on one stripe coalesce
+// into a single fetch+decode. Zero or negative leaves the cache off. The
+// cache is per-Store and deliberately opt-in — fault-injection tests and
+// repair tooling want every read to exercise the network.
+func WithStripeCache(bytes int64) StoreOption {
+	return func(s *Store) {
+		if bytes > 0 {
+			s.cache = stripecache.New(bytes)
+		} else {
+			s.cache = nil
+		}
+	}
+}
+
+// WithCacheDisabled turns the stripe cache off explicitly — the default,
+// named so call sites constructing A/B variants can say which side they
+// are.
+func WithCacheDisabled() StoreOption {
+	return func(s *Store) { s.cache = nil }
+}
+
+// Cache exposes the store's stripe cache (nil when disabled) for stats
+// surfacing and tests.
+func (s *Store) Cache() *stripecache.Cache { return s.cache }
 
 // NewStore builds a store over n server addresses.
 func NewStore(code *carousel.Code, addrs []string, blockSize int, opts ...StoreOption) (*Store, error) {
@@ -190,6 +228,15 @@ func (s *Store) WriteFile(ctx context.Context, name string, data []byte) (_ int,
 		return 0, errors.New("blockserver: empty file")
 	}
 	t0 := time.Now()
+	if s.cache != nil {
+		// Bump the file's write generation before touching any block (readers
+		// mid-flight insert under the old, now-unreachable version) and again
+		// after the last upload (anything cached during the mutation window is
+		// discarded too). Between the bumps a read may fetch torn bytes, but
+		// it caches them under a version no future read will ever look up.
+		s.cache.Invalidate(name)
+		defer s.cache.Invalidate(name)
+	}
 	stripeData := s.code.K() * s.blockSize
 	stripes := (len(data) + stripeData - 1) / stripeData
 	ctx, sp := obs.StartSpan(ctx, "store.write")
@@ -297,6 +344,13 @@ type ReadStats struct {
 	// StripesFallback counts stripes that fell back to the fastest-k
 	// any-k decode after a source failed or straggled.
 	StripesFallback int
+	// CacheHits counts stripes served straight from the stripe cache — no
+	// network, no decode. A fully-warm read shows CacheHits == stripes and
+	// an empty Dials map.
+	CacheHits int
+	// CoalescedStripes counts stripes whose miss piggybacked on another
+	// caller's in-flight fetch of the same stripe (singleflight).
+	CoalescedStripes int
 	// CorruptSources counts source reads rejected by checksum
 	// verification, including losers whose verdicts arrived after the
 	// stripe was already decided.
@@ -332,6 +386,22 @@ func (rs *ReadStats) fallbackStripe() {
 	rs.StripesFallback++
 	rs.mu.Unlock()
 	mStripesFallback.Inc()
+}
+
+// cacheHitStripe records a stripe served from the stripe cache.
+func (rs *ReadStats) cacheHitStripe() {
+	rs.mu.Lock()
+	rs.CacheHits++
+	rs.mu.Unlock()
+	mCacheHitStripes.Inc()
+}
+
+// coalescedStripe records a stripe whose miss joined an in-flight fetch.
+func (rs *ReadStats) coalescedStripe() {
+	rs.mu.Lock()
+	rs.CoalescedStripes++
+	rs.mu.Unlock()
+	mCoalescedStripes.Inc()
 }
 
 // source folds one source stream's outcome into the stats — the single
@@ -411,7 +481,7 @@ func (s *Store) ReadFile(ctx context.Context, name string, size int) (_ []byte, 
 			mPipelineInflight.Add(1)
 			defer mPipelineInflight.Add(-1)
 			dst := out[st*stripeData : (st+1)*stripeData]
-			if err := s.readStripeInto(rctx, name, st, dst, stats); err != nil {
+			if err := s.readStripeCached(rctx, name, st, dst, stats); err != nil {
 				errs[st] = err
 				rcancel() // later stripes are pointless once one failed
 			}
@@ -465,6 +535,44 @@ type sourceResult struct {
 	data  []byte
 	bytes int
 	err   error
+}
+
+// readStripeCached serves one stripe through the stripe cache when one is
+// configured: a hit copies the decoded stripe into dst with no network
+// traffic, and a miss runs the normal hedged fetch exactly once per
+// in-flight stripe (concurrent misses coalesce), inserting the result for
+// the next reader. With no cache this is a direct passthrough — the
+// uncached read path is byte-for-byte the pre-cache behavior, extra span
+// included.
+func (s *Store) readStripeCached(ctx context.Context, name string, st int, dst []byte, stats *ReadStats) error {
+	if s.cache == nil {
+		return s.readStripeInto(ctx, name, st, dst, stats)
+	}
+	cctx, csp := obs.StartSpan(ctx, "cache")
+	csp.SetAttr("stripe", st)
+	hit, coalesced, err := s.cache.GetOrFetch(cctx, name, st, dst,
+		func(fctx context.Context, out []byte) error {
+			// The flight's fetch: the full hedged pipeline, decoding into the
+			// flight-owned buffer. fctx derives from this caller's context
+			// (values like the trace link survive; cancellation is governed
+			// by the flight's waiters), so the fetch spans nest under the
+			// cache span of whichever caller started the flight.
+			return s.readStripeInto(fctx, name, st, out, stats)
+		})
+	csp.SetAttr("hit", hit).SetAttr("coalesced", coalesced)
+	if err != nil {
+		csp.SetAttr("error", err.Error())
+	}
+	csp.End()
+	switch {
+	case err != nil:
+		return err
+	case hit:
+		stats.cacheHitStripe()
+	case coalesced:
+		stats.coalescedStripe()
+	}
+	return nil
 }
 
 // readStripeInto fetches one stripe's original data directly into dst
@@ -822,6 +930,13 @@ func (s *Store) repair(ctx context.Context, name string, st, failed int, ro repa
 	mRepairWritebackNS.ObserveSince(t2)
 	if err != nil {
 		return trafficBytes, err
+	}
+	// The regenerated block is byte-identical to what the code originally
+	// produced, but the writeback still bumps the cache generation: belt
+	// and suspenders against a reader having cached a stripe decoded from
+	// the corrupt block this repair just replaced.
+	if s.cache != nil {
+		s.cache.Invalidate(name)
 	}
 	return trafficBytes, nil
 }

@@ -23,7 +23,15 @@ type storeSink struct {
 }
 
 func (k *storeSink) PutBlock(stripe, block int, data []byte) error {
-	return k.s.put(k.ctx, k.s.addrs[block], blockName(k.name, stripe, block), data)
+	err := k.s.put(k.ctx, k.s.addrs[block], blockName(k.name, stripe, block), data)
+	// A streaming write mutates blocks one at a time, so every upload bumps
+	// the file's cache generation — readers overlapping the stream never
+	// see a stale stripe, and the final bump retires anything cached
+	// mid-stream.
+	if err == nil && k.s.cache != nil {
+		k.s.cache.Invalidate(k.name)
+	}
+	return err
 }
 
 // Source returns a stream.BlockSource that fetches whole blocks of the
@@ -79,4 +87,29 @@ func (src *storeSource) RecycleBlocks(blocks [][]byte) {
 	for _, b := range blocks {
 		Recycle(b)
 	}
+}
+
+// ReadStripeInto implements stream.StripeSource when the store has a
+// stripe cache: a hit copies the decoded stripe into dst with no network
+// traffic, and a miss runs the store's hedged fetch exactly once per
+// in-flight stripe, populating the cache for the next reader. With the
+// cache disabled it reports (false, nil) and the PrefetchReader falls
+// back to the per-block path unchanged.
+func (src *storeSource) ReadStripeInto(stripe int, dst []byte) (bool, error) {
+	c := src.s.cache
+	if c == nil {
+		return false, nil
+	}
+	stats := &ReadStats{mu: new(sync.Mutex)}
+	hit, _, err := c.GetOrFetch(src.ctx, src.name, stripe, dst,
+		func(fctx context.Context, out []byte) error {
+			return src.s.readStripeInto(fctx, src.name, stripe, out, stats)
+		})
+	if err != nil {
+		return false, err
+	}
+	if hit {
+		mCacheHitStripes.Inc()
+	}
+	return true, nil
 }

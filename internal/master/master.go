@@ -176,6 +176,8 @@ func New(cfg Config) (*Master, error) {
 		{"cluster_tx_rate_bps", func(r Rollup) int64 { return r.TxRateBps }},
 		{"cluster_rpc_p99_ns", func(r Rollup) int64 { return r.RPCP99NS }},
 		{"cluster_error_budget_min_ppm", func(r Rollup) int64 { return r.ErrorBudgetMinPPM }},
+		{"cluster_cache_hits", func(r Rollup) int64 { return r.CacheHits }},
+		{"cluster_cache_misses", func(r Rollup) int64 { return r.CacheMisses }},
 	} {
 		read := g.read
 		obs.Default().GaugeFunc(g.name, func() int64 { return read(m.members.Rollup()) })
@@ -720,6 +722,8 @@ func (m *Master) Status() *ClusterStatus {
 			QueueDepth:     mem.Info.QueueDepth,
 			TxRateBps:      mem.TxRateBps,
 			ErrorBudgetPPM: mem.Info.ErrorBudgetPPM,
+			CacheHits:      mem.Info.CacheHits,
+			CacheMisses:    mem.Info.CacheMisses,
 		})
 	}
 	m.mu.Lock()

@@ -276,6 +276,11 @@ type Rollup struct {
 	// ErrorBudgetMinPPM is the tightest remaining SLO budget across
 	// obs-enabled members (1e6 when none report).
 	ErrorBudgetMinPPM int64
+	// CacheHits and CacheMisses sum the members' process-wide stripe-cache
+	// totals. Counters, not health gauges: old daemons simply contribute
+	// zero, so they sum safely without the ObsAddr gate.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Rollup aggregates the alive members. Health fields are only folded in
@@ -292,6 +297,8 @@ func (s *memberSet) Rollup() Rollup {
 		r.Blocks += mem.Info.Blocks
 		r.BlockBytes += mem.Info.BlockBytes
 		r.CorruptServes += mem.Info.CorruptServes
+		r.CacheHits += mem.Info.CacheHits
+		r.CacheMisses += mem.Info.CacheMisses
 		if mem.Info.ObsAddr == "" {
 			continue
 		}

@@ -15,6 +15,17 @@ import (
 // keeps the same number of stripes moving.
 const DefaultPrefetchDepth = 4
 
+// StripeSource is an optional BlockSource extension: a source that can
+// serve a whole decoded stripe directly — for example out of a stripe
+// cache, skipping the per-block fetch and the decode — implements it. A
+// PrefetchReader tries it first for every stripe. ReadStripeInto fills
+// dst (k·blockSize bytes, padding included) and reports whether it served
+// the stripe; (false, nil) means "no fast path here, fetch blocks as
+// usual", and an error sinks the stripe.
+type StripeSource interface {
+	ReadStripeInto(stripe int, dst []byte) (bool, error)
+}
+
 // BlockRecycler is an optional BlockSource extension. A source whose
 // stripe blocks come out of a buffer pool implements it so the
 // PrefetchReader can hand the blocks back as soon as a stripe is decoded;
@@ -93,6 +104,24 @@ func dispatch(code *carousel.Code, blockSize int, size int64, src BlockSource, q
 			return
 		}
 		go func(st int, slot chan<- stripeResult) {
+			// Fast path: a source that can produce the whole decoded stripe
+			// (a cache hit, or a coalesced fetch) delivers straight into a
+			// pooled buffer — the cache copies into it, so recycling the
+			// buffer downstream never races the cache's own entry.
+			if ss, ok := src.(StripeSource); ok {
+				out := bufpool.Get(int(per))
+				served, err := ss.ReadStripeInto(st, out)
+				if err != nil {
+					bufpool.Put(out)
+					slot <- stripeResult{err: fmt.Errorf("stream: fetching stripe %d: %w", st, err)}
+					return
+				}
+				if served {
+					slot <- stripeResult{data: out}
+					return
+				}
+				bufpool.Put(out)
+			}
 			blocks, err := src.StripeBlocks(st)
 			if err != nil {
 				slot <- stripeResult{err: fmt.Errorf("stream: fetching stripe %d: %w", st, err)}

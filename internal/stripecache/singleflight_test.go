@@ -1,0 +1,289 @@
+package stripecache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGetOrFetchCoalesces: N concurrent misses on one stripe run exactly
+// one fetch, and every waiter receives the same bytes.
+func TestGetOrFetchCoalesces(t *testing.T) {
+	c := New(1 << 20)
+	const waiters = 32
+	const size = 4096
+	var fetches atomic.Int32
+	release := make(chan struct{})
+	want := fill(size, 42)
+
+	var wg sync.WaitGroup
+	results := make([][]byte, waiters)
+	coalesced := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dst := make([]byte, size)
+			_, co, err := c.GetOrFetch(context.Background(), "f", 3, dst,
+				func(ctx context.Context, out []byte) error {
+					fetches.Add(1)
+					<-release // hold the flight open until all goroutines join
+					copy(out, want)
+					return nil
+				})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			results[i] = dst
+			coalesced[i] = co
+		}(i)
+	}
+	// Let every goroutine reach the flight before the fetch completes.
+	for int(c.misses.Load()) < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("%d fetches for %d concurrent misses, want exactly 1", got, waiters)
+	}
+	nCoalesced := 0
+	for i, dst := range results {
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("waiter %d got wrong bytes", i)
+		}
+		if coalesced[i] {
+			nCoalesced++
+		}
+	}
+	if nCoalesced != waiters-1 {
+		t.Fatalf("%d waiters reported coalesced, want %d", nCoalesced, waiters-1)
+	}
+	if c.Stats().CoalescedWaiters != waiters-1 {
+		t.Fatalf("coalesced counter = %d, want %d", c.Stats().CoalescedWaiters, waiters-1)
+	}
+	// The flight's result was inserted: the next read is a plain hit.
+	dst := make([]byte, size)
+	hit, _, err := c.GetOrFetch(context.Background(), "f", 3, dst, func(context.Context, []byte) error {
+		t.Fatal("fetch ran on what should be a warm hit")
+		return nil
+	})
+	if err != nil || !hit {
+		t.Fatalf("post-flight read: hit=%v err=%v, want a clean hit", hit, err)
+	}
+}
+
+// TestGetOrFetchErrorFansOut: a failing coalesced fetch delivers the same
+// error to every waiter, leaves no goroutines behind, and retires the
+// flight so the next caller gets a fresh attempt.
+func TestGetOrFetchErrorFansOut(t *testing.T) {
+	c := New(1 << 20)
+	const waiters = 16
+	sentinel := errors.New("blackholed")
+	var fetches atomic.Int32
+	release := make(chan struct{})
+
+	before := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dst := make([]byte, 1024)
+			_, _, errs[i] = c.GetOrFetch(context.Background(), "f", 0, dst,
+				func(ctx context.Context, out []byte) error {
+					fetches.Add(1)
+					<-release
+					return sentinel
+				})
+		}(i)
+	}
+	for int(c.misses.Load()) < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := fetches.Load(); got != 1 {
+		t.Fatalf("%d fetches, want 1", got)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("waiter %d got %v, want the flight's error", i, err)
+		}
+	}
+	// Nothing was cached and the flight is gone: a retry runs a new fetch.
+	var retried atomic.Bool
+	dst := make([]byte, 1024)
+	hit, _, err := c.GetOrFetch(context.Background(), "f", 0, dst,
+		func(ctx context.Context, out []byte) error { retried.Store(true); return nil })
+	if err != nil || hit || !retried.Load() {
+		t.Fatalf("retry after failed flight: hit=%v err=%v fetched=%v, want fresh fetch", hit, err, retried.Load())
+	}
+	// Leak check: give stragglers a moment, then compare goroutine counts.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+// TestWaiterCancelDetaches: a waiter whose context dies returns promptly
+// with that context's error while the flight keeps serving the remaining
+// waiter — cancellation must not poison the flight.
+func TestWaiterCancelDetaches(t *testing.T) {
+	c := New(1 << 20)
+	const size = 1024
+	want := fill(size, 7)
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	// Waiter A starts the flight and will be cancelled mid-fetch.
+	actx, acancel := context.WithCancel(context.Background())
+	aerr := make(chan error, 1)
+	go func() {
+		dst := make([]byte, size)
+		_, _, err := c.GetOrFetch(actx, "f", 0, dst,
+			func(ctx context.Context, out []byte) error {
+				close(started)
+				select {
+				case <-release:
+					copy(out, want)
+					return nil
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			})
+		aerr <- err
+	}()
+	<-started
+
+	// Waiter B joins the same flight.
+	berr := make(chan error, 1)
+	bdst := make([]byte, size)
+	go func() {
+		_, _, err := c.GetOrFetch(context.Background(), "f", 0, bdst,
+			func(context.Context, []byte) error {
+				t.Error("second fetch started; B did not coalesce")
+				return nil
+			})
+		berr <- err
+	}()
+	for c.Stats().CoalescedWaiters == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	acancel()
+	select {
+	case err := <-aerr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter got %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return while the flight was still running")
+	}
+
+	close(release)
+	select {
+	case err := <-berr:
+		if err != nil {
+			t.Fatalf("surviving waiter got %v after peer cancellation", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("surviving waiter never completed")
+	}
+	if !bytes.Equal(bdst, want) {
+		t.Fatal("surviving waiter got wrong bytes")
+	}
+}
+
+// TestAllWaitersGoneCancelsFetch: when every waiter abandons a flight,
+// the fetch context is cancelled so the fetch can stop hammering a dead
+// server, and the flight is retired so the next caller starts fresh.
+func TestAllWaitersGoneCancelsFetch(t *testing.T) {
+	c := New(1 << 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	fetchDone := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		dst := make([]byte, 1024)
+		_, _, err := c.GetOrFetch(ctx, "f", 0, dst,
+			func(fctx context.Context, out []byte) error {
+				close(started)
+				<-fctx.Done() // simulate a blackholed fetch that only aborts via ctx
+				fetchDone <- fctx.Err()
+				return fctx.Err()
+			})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("abandoning waiter got %v", err)
+		}
+	}()
+	<-started
+	cancel()
+	select {
+	case <-fetchDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fetch context not cancelled after the last waiter left")
+	}
+	// The poisoned flight must be gone: a new caller runs a fresh fetch.
+	var fresh atomic.Bool
+	deadline := time.Now().Add(2 * time.Second)
+	for !fresh.Load() && time.Now().Before(deadline) {
+		dst := make([]byte, 1024)
+		c.GetOrFetch(context.Background(), "f", 0, dst,
+			func(context.Context, []byte) error { fresh.Store(true); return nil })
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !fresh.Load() {
+		t.Fatal("caller after an abandoned flight never got a fresh fetch")
+	}
+}
+
+// TestGetOrFetchInvalidationConcurrent hammers GetOrFetch against
+// Invalidate; the race detector plus the version check in the fetch
+// assert nothing stale is ever fanned out.
+func TestGetOrFetchInvalidationConcurrent(t *testing.T) {
+	c := New(1 << 20)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Invalidate("f")
+				time.Sleep(time.Microsecond)
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]byte, 256)
+			for i := 0; i < 200; i++ {
+				c.GetOrFetch(context.Background(), "f", i%3, dst,
+					func(ctx context.Context, out []byte) error {
+						copy(out, fill(len(out), 1))
+						return nil
+					})
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

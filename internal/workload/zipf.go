@@ -1,0 +1,45 @@
+package workload
+
+import "math/rand"
+
+// Zipf draws object indexes in [0, n) with a Zipf(s) popularity skew:
+// index 0 is the hottest object, and P(i) ∝ 1/(i+1)^s. It wraps the
+// standard library's rejection-inversion sampler behind a seeded source,
+// so a swarm benchmark replayed with the same (s, n, seed) issues the
+// identical request sequence on every host — the reproducibility the A/B
+// comparisons depend on.
+//
+// A Zipf is not safe for concurrent use; give each load-generating
+// goroutine its own, seeded distinctly (see Fork).
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf builds a seeded Zipf generator over n objects with exponent s.
+// The standard sampler requires s > 1; values at or below 1 (including
+// the common "s≈1" request) are nudged to just above it, which preserves
+// the heavy-tailed shape the benchmarks want. n must be positive.
+func NewZipf(s float64, n int, seed int64) *Zipf {
+	if n <= 0 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.0000001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Next draws the next object index in [0, n).
+func (z *Zipf) Next() int {
+	return int(z.z.Uint64())
+}
+
+// Fork returns an independent generator over the same population with a
+// derived seed: one per client goroutine, all reproducible from the root
+// seed.
+func Fork(s float64, n int, rootSeed int64, client int) *Zipf {
+	// Mix the client index into the seed with an odd multiplier so
+	// consecutive clients do not produce correlated streams.
+	return NewZipf(s, n, rootSeed*0x9E3779B1+int64(client+1)*0x85EBCA77)
+}

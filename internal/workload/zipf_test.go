@@ -1,0 +1,96 @@
+package workload
+
+import "testing"
+
+// TestZipfDeterministic: the same (s, n, seed) replays the identical
+// request sequence — the property swarm A/B runs depend on.
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(1.1, 1000, 42)
+	b := NewZipf(1.1, 1000, 42)
+	for i := 0; i < 10000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+	c := NewZipf(1.1, 1000, 43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewZipf(1.1, 1000, 42).Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestZipfFrequencyRanks: empirical frequencies must be monotone in rank
+// (hotter index → more draws) for the head of the distribution, and the
+// head must dominate — index 0 alone should absorb a large share at
+// s=1.1.
+func TestZipfFrequencyRanks(t *testing.T) {
+	const n = 100
+	const draws = 200000
+	z := NewZipf(1.1, n, 7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		idx := z.Next()
+		if idx < 0 || idx >= n {
+			t.Fatalf("draw out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	// Rank order over the head (noise swamps the tail, so compare ranks
+	// with a gap: each of the first 8 indexes must beat the one 2 ranks
+	// below it).
+	for i := 0; i+2 < 10; i++ {
+		if counts[i] <= counts[i+2] {
+			t.Errorf("rank %d drawn %d times, rank %d drawn %d — not monotone", i, counts[i], i+2, counts[i+2])
+		}
+	}
+	if share := float64(counts[0]) / draws; share < 0.10 {
+		t.Errorf("hottest object absorbed only %.1f%% of draws; the distribution is not head-heavy", share*100)
+	}
+	tail := 0
+	for _, c := range counts[n/2:] {
+		tail += c
+	}
+	if share := float64(tail) / draws; share > 0.25 {
+		t.Errorf("cold half absorbed %.1f%% of draws, want a heavy head", share*100)
+	}
+}
+
+// TestZipfGuards: degenerate parameters are clamped, not panicking.
+func TestZipfGuards(t *testing.T) {
+	for _, z := range []*Zipf{NewZipf(1.0, 10, 1), NewZipf(0.5, 10, 1), NewZipf(1.1, 0, 1)} {
+		for i := 0; i < 100; i++ {
+			if idx := z.Next(); idx < 0 {
+				t.Fatalf("negative draw %d", idx)
+			}
+		}
+	}
+}
+
+// TestZipfForkIndependence: per-client forks draw from the same
+// population but are not lockstep copies of each other.
+func TestZipfForkIndependence(t *testing.T) {
+	a := Fork(1.1, 1000, 42, 0)
+	b := Fork(1.1, 1000, 42, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("sibling forks are lockstep")
+	}
+	// And forks are themselves reproducible.
+	x := Fork(1.1, 1000, 42, 3)
+	y := Fork(1.1, 1000, 42, 3)
+	for i := 0; i < 1000; i++ {
+		if x.Next() != y.Next() {
+			t.Fatal("fork replay diverged")
+		}
+	}
+}

@@ -10,7 +10,9 @@
 # through master-owned placements, and asserts that `carouselctl trace`
 # stitches the server-side spans of that read, that the master's
 # /metrics exports nonzero cluster_* roll-up gauges, and that the
-# windowed *_p99 tail gauges are live on the data path.
+# windowed *_p99 tail gauges are live on the data path. A final repeated
+# get with -cache asserts the stripe cache serves warm passes (nonzero
+# hits) and that the master exports the cluster_cache_* roll-up gauges.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -161,7 +163,8 @@ if [ -z "$MOUT" ]; then
     exit 1
 fi
 for fam in cluster_files cluster_block_bytes cluster_tx_rate_bps \
-    cluster_rpc_p99_ns cluster_error_budget_min_ppm; do
+    cluster_rpc_p99_ns cluster_error_budget_min_ppm \
+    cluster_cache_hits cluster_cache_misses; do
     grep -q "^$fam" <<<"$MOUT" || { echo "obscheck: $fam missing from master scrape" >&2; exit 1; }
 done
 
@@ -171,4 +174,16 @@ DOUT=$("$BIN/carouselctl" stats -addrs 127.0.0.1:18190,127.0.0.1:18191,127.0.0.1
 grep -Eq '^blockserver_server_rpc_window_ns_p99 [1-9]' <<<"$DOUT" \
     || { echo "obscheck: blockserver_server_rpc_window_ns_p99 is zero or missing" >&2; exit 1; }
 
-echo "obscheck: stitched trace $TRACE across nodes; cluster_* roll-ups and windowed p99 gauges live"
+# A repeated traced get with the stripe cache enabled must serve its warm
+# passes from memory: the first pass fills the cache, so -count 3 has to
+# report nonzero stripe hits on the printed cache line.
+CGET=$("$BIN/carouselctl" cluster get -master "$MASTER" $CODE -count 3 -cache 4 obscheck "$BIN/got2")
+cmp -s "$BIN/payload" "$BIN/got2" || { echo "obscheck: cached get roundtrip mismatch" >&2; exit 1; }
+HITS=$(awk '$1 == "cache:" {print $2; exit}' <<<"$CGET")
+if [ -z "$HITS" ] || [ "$HITS" -lt 1 ]; then
+    echo "obscheck: cached repeated get reported ${HITS:-no} stripe hits, want >= 1" >&2
+    echo "$CGET" >&2
+    exit 1
+fi
+
+echo "obscheck: stitched trace $TRACE across nodes; cluster_* roll-ups and windowed p99 gauges live; cached get hit $HITS stripes"
